@@ -1,0 +1,36 @@
+# repligc — common tasks. Everything is stdlib-only and offline.
+
+.PHONY: all build test bench experiments quick-experiments examples clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+# One testing.B benchmark per paper table/figure, at the quick scale.
+bench:
+	go test -bench=. -benchmem -run '^$$' .
+
+# Regenerate every table and figure of the paper at full scale.
+experiments:
+	go run ./cmd/rtgc-bench all
+
+quick-experiments:
+	go run ./cmd/rtgc-bench -quick all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/interactive
+	go run ./examples/primes
+	go run ./examples/futures
+	go run ./examples/replay
+	go run ./examples/lowlatency
+
+# The two output files the reproduction ships with.
+outputs:
+	go test ./... 2>&1 | tee test_output.txt
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -1,0 +1,129 @@
+// Command rtgc-bench regenerates every table and figure of the paper's
+// evaluation (§4). Each subcommand reproduces one artifact; "all" runs the
+// whole suite. Reported times are simulated milliseconds from the
+// deterministic cost model calibrated to the paper's hardware (2 MB/s
+// copying, so L = 100 KB yields 50 ms pauses).
+//
+// Usage:
+//
+//	rtgc-bench [-quick] table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|ablations|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repligc/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the small test-scale workloads")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rtgc-bench [-quick] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 ablations all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	scale := bench.DefaultScale()
+	if *quick {
+		scale = bench.QuickScale()
+	}
+	s := bench.NewSuite(scale)
+
+	var run func(name string) error
+	run = func(name string) error {
+		switch name {
+		case "table1":
+			rows, err := s.Table1()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatTable1(rows))
+		case "fig5", "fig6":
+			a, b, c, d, err := s.PauseHistograms()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatHistograms(a, b, c, d))
+		case "fig7":
+			comps, err := s.Fig7("Comp", bench.PaperParams()[0])
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFig7("Comp", comps))
+		case "fig8", "fig9", "fig10":
+			figOf := map[string]struct {
+				n int
+				w string
+			}{"fig8": {8, "Primes"}, "fig9": {9, "Comp"}, "fig10": {10, "Sort"}}[name]
+			rows, err := s.Overheads(figOf.w)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatOverheads(figOf.n, rows))
+		case "table2":
+			rows, err := s.Table2()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatTable2(rows))
+		case "table3":
+			rows, err := s.Table3()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatTable3(rows))
+		case "ablations":
+			lazy, err := s.AblationLazy()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatAblation("Ablation: lazy log processing (paper §2.5)", lazy))
+			fmt.Println()
+			bounded, err := s.AblationBoundedLog()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatAblation("Ablation: bounded (incremental) log processing (paper §3.4 extension)", bounded))
+			fmt.Println()
+			deferred, err := s.AblationDeferMutables()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatAblation("Ablation: deferred mutable copying (paper §2.5 copy order)", deferred))
+			fmt.Println()
+			conc, err := s.AblationConcurrent()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatAblation("Ablation: interleaved concurrent-style pacing (paper §6)", conc))
+			fmt.Println()
+			logpol, err := s.AblationLogPolicy()
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatLogPolicy(logpol))
+		case "all":
+			for _, e := range []string{"table1", "fig5", "fig7", "fig8", "fig9", "fig10", "table2", "table3", "ablations"} {
+				if err := run(e); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "rtgc-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,134 @@
+// Command rtgc compiles and runs a MiniML program on the simulated heap
+// under a chosen garbage collector, then reports the collector's pause-time
+// and work statistics — a direct way to watch the replication collector
+// bound pauses on your own programs.
+//
+// Usage:
+//
+//	rtgc [flags] program.ml
+//
+// The collector flags mirror the paper's parameters: -gc selects the
+// configuration, -n/-o/-l set N, O and L in kilobytes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repligc/internal/core"
+	"repligc/internal/heap"
+	"repligc/internal/lang"
+	"repligc/internal/simtime"
+	"repligc/internal/stopcopy"
+	"repligc/internal/vm"
+)
+
+func main() {
+	gcName := flag.String("gc", "rt", "collector: rt, rt-conc, minor-inc, major-inc, sc, sc-mods")
+	nKB := flag.Int64("n", 200, "nursery size N in KB")
+	oKB := flag.Int64("o", 1024, "major threshold O in KB")
+	lKB := flag.Int64("l", 100, "copy limit L in KB (incremental configurations)")
+	stats := flag.Bool("stats", true, "print collector statistics after the run")
+	disasm := flag.Bool("S", false, "print the compiled bytecode instead of running")
+	census := flag.Bool("census", false, "print a live-object census by kind after the run")
+	prelude := flag.Bool("prelude", false, "prepend the MiniML standard prelude")
+	trace := flag.String("trace", "", "write a CSV of every collector pause to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rtgc [flags] program.ml")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtgc: %v\n", err)
+		os.Exit(1)
+	}
+
+	h := heap.New(heap.Config{
+		NurseryBytes:    *nKB << 10,
+		NurseryCapBytes: 32 << 20,
+		OldSemiBytes:    96 << 20,
+	})
+	policy := core.LogAllMutations
+	if *gcName == "sc" {
+		policy = core.LogPointersOnly
+	}
+	m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), policy)
+
+	var gc core.Collector
+	switch *gcName {
+	case "sc", "sc-mods":
+		gc = stopcopy.New(h, stopcopy.Config{NurseryBytes: *nKB << 10, MajorThresholdBytes: *oKB << 10})
+	case "rt", "rt-conc", "minor-inc", "major-inc":
+		gc = core.NewReplicating(h, core.Config{
+			NurseryBytes:           *nKB << 10,
+			MajorThresholdBytes:    *oKB << 10,
+			CopyLimitBytes:         *lKB << 10,
+			IncrementalMinor:       *gcName != "major-inc",
+			IncrementalMajor:       *gcName != "minor-inc",
+			InterleavedTaxPermille: map[bool]int{true: 1500, false: 0}[*gcName == "rt-conc"],
+			BoundedLogProcessing:   *gcName == "rt-conc",
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "rtgc: unknown collector %q\n", *gcName)
+		os.Exit(2)
+	}
+	m.AttachGC(gc)
+
+	text := string(src)
+	if *prelude {
+		text = lang.Prelude + text
+	}
+	prog, err := lang.Compile(m, text)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtgc: %v\n", err)
+		os.Exit(1)
+	}
+	if *disasm {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	machine := vm.New(m, prog)
+	runErr := machine.Run()
+	os.Stdout.Write(machine.Output.Bytes())
+	gc.FinishCycles(m)
+
+	if *trace != "" {
+		if err := os.WriteFile(*trace, []byte(gc.Pauses().CSV()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rtgc: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "rtgc: %v\n", runErr)
+		os.Exit(1)
+	}
+	if *stats {
+		st := gc.Stats()
+		rec := gc.Pauses()
+		fmt.Fprintf(os.Stderr, "\n--- %s collector (simulated time) ---\n", gc.Name())
+		fmt.Fprintf(os.Stderr, "elapsed            %v\n", m.Clock.Now())
+		fmt.Fprintf(os.Stderr, "allocated          %.2f MB\n", float64(m.BytesAllocated)/(1<<20))
+		fmt.Fprintf(os.Stderr, "minor collections  %d\n", st.MinorCollections)
+		fmt.Fprintf(os.Stderr, "major collections  %d\n", st.MajorCollections)
+		fmt.Fprintf(os.Stderr, "copied minor/major %.2f / %.2f MB\n",
+			float64(st.BytesCopiedMinor)/(1<<20), float64(st.BytesCopiedMajor)/(1<<20))
+		fmt.Fprintf(os.Stderr, "pauses             %d (p50 %v, p99 %v, max %v)\n",
+			st.PauseCount, rec.Percentile(50), rec.Percentile(99), rec.Max())
+		fmt.Fprintf(os.Stderr, "log entries        %d written, %d reapplied\n",
+			m.LogWrites, st.LogReapplied)
+	}
+	if *census {
+		fmt.Fprintf(os.Stderr, "\n--- live-object census ---\n")
+		c := h.Census(&h.Nursery, h.OldFrom())
+		for k := heap.KindRecord; k <= heap.KindBytes; k++ {
+			if e, ok := c[k]; ok {
+				fmt.Fprintf(os.Stderr, "%-8s %8d objects %10.1f KB\n", k, e.Count, float64(e.Bytes)/1024)
+			}
+		}
+	}
+}

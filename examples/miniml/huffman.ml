@@ -1,0 +1,21 @@
+(* Huffman coding: builds a code tree from symbol frequencies and reports
+   the weighted code length — heavy on sorting, tuples, and recursion.
+   Run with: go run ./cmd/rtgc -prelude examples/miniml/huffman.ml *)
+fun freqs u =
+  map (fn i => ((i * 37) mod 95 + 5, i)) (range 0 48) in
+(* nodes are (weight, 0)=leaf or (weight, (l, r))=branch; sorted by weight *)
+fun node w = (w, 0) in
+fun combine a b = (#1 a + #1 b, (a, b)) in
+fun byweight a b = #1 a <= #1 b in
+fun build trees =
+  case trees of
+    [t] => t
+  | a :: b :: rest => build (msort byweight (combine a b :: rest))
+  | _ => (0, 0) in
+fun depthsum t d =
+  case #2 t of
+    0 => #1 t * d
+  | (l, r) => depthsum l (d + 1) + depthsum r (d + 1) in
+let leaves = msort byweight (map (fn p => node (#1 p)) (freqs ())) in
+let tree = build leaves in
+println ("weighted code length: " ^ itos (depthsum tree 0))

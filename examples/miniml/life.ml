@@ -1,0 +1,28 @@
+(* Conway's game of life on arrays: mutation-heavy (every generation
+   writes the whole board through the logged store path).
+   Run with: go run ./cmd/rtgc -prelude examples/miniml/life.ml *)
+let w = 16 in
+let gens = 30 in
+fun idx x y = ((y mod w) + w) mod w * w + (((x mod w) + w) mod w) in
+let board = array (w * w) 0 in
+fun seed l = appl (fn p => aset board (idx (#1 p) (#2 p)) 1) l in
+fun neighbours b x y =
+  suml (map (fn d => aget b (idx (x + #1 d) (y + #2 d)))
+    [(~1, ~1), (0, ~1), (1, ~1), (~1, 0), (1, 0), (~1, 1), (0, 1), (1, 1)]) in
+fun stepgen b =
+  let nb = array (w * w) 0 in
+  (appl (fn y =>
+     appl (fn x =>
+       let n = neighbours b x y in
+       let alive = aget b (idx x y) in
+       aset nb (idx x y)
+         (if alive = 1 then (if n = 2 orelse n = 3 then 1 else 0)
+          else (if n = 3 then 1 else 0)))
+       (range 0 w))
+     (range 0 w);
+   nb) in
+fun run b g = if g = 0 then b else run (stepgen b) (g - 1) in
+(seed [(1, 0), (2, 1), (0, 2), (1, 2), (2, 2)]; (* a glider *)
+ let final = run board gens in
+ println ("alive after " ^ itos gens ^ " generations: "
+          ^ itos (suml (atolist final))))

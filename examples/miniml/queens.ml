@@ -1,0 +1,16 @@
+(* N-queens: counts solutions with list-based backtracking — an
+   allocation-heavy classic. Uses the prelude (-prelude flag).
+   Run with: go run ./cmd/rtgc -prelude examples/miniml/queens.ml *)
+fun safe q qs =
+  fun go d rest =
+    case rest of
+      [] => true
+    | x :: r => x <> q andalso abs (x - q) <> d andalso go (d + 1) r in
+  go 1 qs in
+fun solve n =
+  fun place qs row =
+    if row = n then 1
+    else suml (map (fn q => if safe q qs then place (q :: qs) (row + 1) else 0)
+                   (range 0 n)) in
+  place [] 0 in
+println ("queens 8 -> " ^ itos (solve 8))

@@ -1,0 +1,18 @@
+(* The Primes benchmark at small scale: a lazy-stream prime sieve.
+   Run with: go run ./cmd/rtgc examples/miniml/sieve.ml *)
+fun from n = fn u => (n, from (n + 1)) in
+fun filter p s = fn u =>
+  let pr = s () in
+  (case pr of (x, rest) =>
+    if p x then (x, filter p rest)
+    else (filter p rest) ()) in
+fun sieve s = fn u =>
+  let pr = s () in
+  (case pr of (x, rest) =>
+    (x, sieve (filter (fn y => (y mod x) <> 0) rest))) in
+fun show k s =
+  if k = 0 then ()
+  else let pr = s () in
+       (case pr of (x, rest) =>
+         (print (itos x); print " "; show (k - 1) rest)) in
+(show 25 (sieve (from 2)); print "\n")

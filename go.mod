@@ -1,0 +1,3 @@
+module repligc
+
+go 1.22

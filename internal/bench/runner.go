@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+
+	"repligc/internal/core"
+	"repligc/internal/heap"
+	"repligc/internal/policy"
+	"repligc/internal/simtime"
+	"repligc/internal/stopcopy"
+)
+
+// ConfigName selects one of the paper's five collector configurations
+// (§4.4), plus the ablation variants.
+type ConfigName string
+
+// The configurations of figures 8–10, plus ablations.
+const (
+	CfgRT        ConfigName = "rt"         // full real-time collector
+	CfgMinorInc  ConfigName = "minor-inc"  // only minor collections incremental
+	CfgMajorInc  ConfigName = "major-inc"  // only major collections incremental
+	CfgSCMods    ConfigName = "sc-mods"    // stop-and-copy + compiler modifications (full logging)
+	CfgSC        ConfigName = "sc"         // plain stop-and-copy baseline
+	CfgRTLazy    ConfigName = "rt-lazy"    // rt + lazy log processing (§2.5 ablation)
+	CfgRTBounded ConfigName = "rt-bounded" // rt + incremental log processing (§3.4 extension)
+	CfgRTConc    ConfigName = "rt-conc"    // rt + interleaved (concurrent-style) pacing (§6)
+	CfgRTDefer   ConfigName = "rt-defer"   // rt + deferred mutable copying (§2.5 copy order)
+)
+
+// AllPaperConfigs is the matrix of figures 8–10.
+var AllPaperConfigs = []ConfigName{CfgRT, CfgMinorInc, CfgMajorInc, CfgSCMods, CfgSC}
+
+// Params is one cell of the paper's parameter matrix.
+type Params struct {
+	OBytes int64 // major threshold O
+	NBytes int64 // nursery size N
+	LBytes int64 // copy limit L (per pause)
+	ABytes int64 // nursery expansion A (0 = L/2)
+}
+
+// String renders as the paper does, in megabytes.
+func (p Params) String() string {
+	return fmt.Sprintf("O=%.1fMB N=%.1fMB", float64(p.OBytes)/(1<<20), float64(p.NBytes)/(1<<20))
+}
+
+// PaperParams is the paper's O×N matrix with its L choices: L = 0.1 MB when
+// N = 0.2 MB (the 50 ms target) and L = 0.5 MB when N = 1 MB (§4.2).
+func PaperParams() []Params {
+	mk := func(oMB, nMB float64) Params {
+		p := Params{OBytes: int64(oMB * (1 << 20)), NBytes: int64(nMB * (1 << 20))}
+		if nMB < 0.5 {
+			p.LBytes = 100 << 10
+		} else {
+			p.LBytes = 500 << 10
+		}
+		return p
+	}
+	return []Params{mk(1, 0.2), mk(1, 1.0), mk(5, 0.2), mk(5, 1.0)}
+}
+
+// RunConfig describes one benchmark run.
+type RunConfig struct {
+	Config ConfigName
+	Params Params
+	// Record collects a policy script (only meaningful for incremental
+	// configurations, normally CfgRT).
+	Record *policy.Script
+	// Replay drives collections from a recorded script (honoured by the
+	// stop-and-copy-minor configurations: sc, sc-mods, major-inc).
+	Replay *policy.Script
+	// Cost overrides the cost model; zero value means Default1993.
+	Cost simtime.CostModel
+}
+
+// Result is everything measured in one run.
+type Result struct {
+	Workload string
+	Config   ConfigName
+	Params   Params
+
+	Elapsed   simtime.Duration
+	Pauses    simtime.Recorder
+	Stats     core.GCStats
+	Breakdown [simtime.NumAccounts]simtime.Duration
+
+	BytesAllocated int64
+	LogWrites      int64
+	Output         string
+}
+
+// Run executes workload w under rc and returns the measurements.
+func Run(w Workload, rc RunConfig) (*Result, error) {
+	cost := rc.Cost
+	if cost == (simtime.CostModel{}) {
+		cost = simtime.Default1993()
+	}
+
+	// The nursery cap must accommodate replayed deltas (N plus expansion).
+	nurseryCap := 16 * rc.Params.NBytes
+	if nurseryCap < 16<<20 {
+		nurseryCap = 16 << 20
+	}
+	h := heap.New(heap.Config{
+		NurseryBytes:    rc.Params.NBytes,
+		NurseryCapBytes: nurseryCap,
+		OldSemiBytes:    96 << 20,
+	})
+
+	logPolicy := core.LogAllMutations
+	if rc.Config == CfgSC {
+		logPolicy = core.LogPointersOnly
+	}
+	m := core.NewMutator(h, simtime.NewClock(), cost, logPolicy)
+
+	var gc core.Collector
+	switch rc.Config {
+	case CfgSC, CfgSCMods:
+		gc = stopcopy.New(h, stopcopy.Config{
+			NurseryBytes:        rc.Params.NBytes,
+			MajorThresholdBytes: rc.Params.OBytes,
+			Replay:              rc.Replay,
+		})
+	case CfgRT, CfgMinorInc, CfgMajorInc, CfgRTLazy, CfgRTBounded, CfgRTConc, CfgRTDefer:
+		cfg := core.Config{
+			NurseryBytes:         rc.Params.NBytes,
+			MajorThresholdBytes:  rc.Params.OBytes,
+			CopyLimitBytes:       rc.Params.LBytes,
+			ExpandBytes:          rc.Params.ABytes,
+			IncrementalMinor:     rc.Config != CfgMajorInc,
+			IncrementalMajor:     rc.Config != CfgMinorInc,
+			LazyLogProcessing:    rc.Config == CfgRTLazy,
+			BoundedLogProcessing: rc.Config == CfgRTBounded,
+			DeferMutableCopies:   rc.Config == CfgRTDefer,
+			Record:               rc.Record,
+		}
+		if rc.Config == CfgRTConc {
+			// 1.5 bytes of collector work per allocated byte: enough to
+			// finish each collection well before the nursery fills.
+			cfg.InterleavedTaxPermille = 1500
+			cfg.BoundedLogProcessing = true
+		}
+		if rc.Config == CfgMajorInc {
+			cfg.Replay = rc.Replay
+		}
+		gc = core.NewReplicating(h, cfg)
+	default:
+		return nil, fmt.Errorf("bench: unknown configuration %q", rc.Config)
+	}
+	m.AttachGC(gc)
+
+	out, err := w.Run(m)
+	if err != nil {
+		return nil, err
+	}
+	gc.FinishCycles(m)
+
+	res := &Result{
+		Workload:       w.Name(),
+		Config:         rc.Config,
+		Params:         rc.Params,
+		Elapsed:        m.Clock.Now(),
+		Pauses:         *gc.Pauses(),
+		Stats:          *gc.Stats(),
+		Breakdown:      m.Clock.Breakdown(),
+		BytesAllocated: m.BytesAllocated,
+		LogWrites:      m.LogWrites,
+		Output:         out,
+	}
+	return res, nil
+}
+
+// RecordedRT runs the real-time configuration while recording its policy
+// script, returning both.
+func RecordedRT(w Workload, p Params) (*Result, *policy.Script, error) {
+	script := &policy.Script{}
+	res, err := Run(w, RunConfig{Config: CfgRT, Params: p, Record: script})
+	return res, script, err
+}

@@ -1,0 +1,85 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, a, b int32) bool {
+		ins := Instr{Op: Op(op % uint8(numOps)), A: a, B: b}
+		var buf [EncodedSize]byte
+		ins.EncodeInto(buf[:], 0)
+		return DecodeInstr(buf[:], 0) == ins
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeAtOffset(t *testing.T) {
+	buf := make([]byte, 3*EncodedSize)
+	a := Instr{Op: OpConstInt, A: -7}
+	b := Instr{Op: OpJump, A: 1 << 20}
+	a.EncodeInto(buf, 0)
+	b.EncodeInto(buf, EncodedSize)
+	if DecodeInstr(buf, 0) != a || DecodeInstr(buf, EncodedSize) != b {
+		t.Fatal("offset encoding broken")
+	}
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		name := op.String()
+		if name == "" || strings.HasPrefix(name, "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+	if !strings.HasPrefix(Op(250).String(), "op(") {
+		t.Error("out-of-range opcode should fall back")
+	}
+}
+
+func TestBinOpNamesComplete(t *testing.T) {
+	for b := BinOp(0); b < numBinOps; b++ {
+		if strings.HasPrefix(b.String(), "bin(") {
+			t.Errorf("binop %d has no name", b)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		ins  Instr
+		want string
+	}{
+		{Instr{Op: OpReturn}, "return"},
+		{Instr{Op: OpBin, A: int32(BinAdd)}, "bin +"},
+		{Instr{Op: OpClosure, A: 3, B: 2}, "closure 3 free 2"},
+		{Instr{Op: OpTestInt, A: 5, B: 9}, "testint 5 -> 9"},
+		{Instr{Op: OpJump, A: 4}, "jump 4"},
+	}
+	for _, c := range cases {
+		if got := c.ins.String(); got != c.want {
+			t.Errorf("%+v => %q, want %q", c.ins, got, c.want)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := &Program{
+		Blocks: []Block{
+			{Name: "entry", Code: []Instr{{Op: OpConstInt, A: 1}, {Op: OpHalt}}},
+			{Name: "f", Code: []Instr{{Op: OpReturn}}},
+		},
+		Strings: []string{"lit"},
+		Entry:   0,
+	}
+	out := p.Disassemble()
+	for _, want := range []string{"block 0 entry (entry)", "block 1 f", "constint 1", `"lit"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"repligc/internal/simtime"
+)
+
+// Collector is the contract between the mutator and a garbage collector.
+type Collector interface {
+	// Name identifies the configuration ("rt", "minor-inc", "sc", ...).
+	Name() string
+
+	// CollectForAlloc is invoked when the nursery cannot satisfy an
+	// allocation of needWords payload+header words. The collector must
+	// make the allocation possible (collect, flip, or expand the nursery)
+	// or panic with an out-of-memory error.
+	CollectForAlloc(m *Mutator, needWords int)
+
+	// AfterAlloc is invoked after every successful nursery allocation so
+	// that replay-driven collectors can trigger collections at recorded
+	// allocation marks rather than at nursery exhaustion.
+	AfterAlloc(m *Mutator)
+
+	// FinishCycles drives any in-progress incremental collections to
+	// completion. Benchmarks call it once at the end of a run so that
+	// total copying work is comparable across configurations.
+	FinishCycles(m *Mutator)
+
+	// Stats exposes the collector's counters.
+	Stats() *GCStats
+
+	// Pauses exposes the pause recorder.
+	Pauses() *simtime.Recorder
+}
+
+// GCStats counts collector work in the units the paper reports.
+type GCStats struct {
+	MinorCollections int   // completed minor collections (flips)
+	MajorCollections int   // completed major collections (flips)
+	PauseCount       int   // number of mutator pauses
+	BytesCopiedMinor int64 // bytes replicated nursery -> old
+	BytesCopiedMajor int64 // bytes replicated old-from -> old-to
+	LogScanned       int64 // log entries examined
+	LogReapplied     int64 // logged mutations reapplied to replicas
+	FlipEntryUpdates int64 // logged locations re-pointed during flips
+	RootSlotUpdates  int64 // root slots scanned or updated
+	ForcedCompletion int   // incremental collections forced non-incremental
+	NurseryExpansion int64 // bytes of nursery expansion granted (param A)
+
+	// FlipCopied records the cumulative TotalBytesCopied at each minor
+	// flip. Comparing two runs with synchronized flips at their last
+	// common flip index yields the paper's latent-garbage measurement
+	// (table 3).
+	FlipCopied []int64
+}
+
+// TotalBytesCopied is the collector's total copying volume; the difference
+// between an incremental run and a synchronized stop-and-copy run is the
+// paper's latent garbage (table 3).
+func (s *GCStats) TotalBytesCopied() int64 { return s.BytesCopiedMinor + s.BytesCopiedMajor }

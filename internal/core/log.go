@@ -1,0 +1,96 @@
+// Package core implements the paper's primary contribution: the
+// replication-based incremental garbage collector with its from-space
+// invariant, mutation log, bounded copy budgets and atomic flips, together
+// with the mutator interface (allocation, write barrier, getheader) that
+// both the MiniML virtual machine and the MiniML compiler run on.
+//
+// The collector (Replicating, in replica.go) is the unified incremental
+// engine: with both generations incremental it is the paper's real-time
+// collector; with only one generation incremental it is the minor- or
+// major-incremental configuration of the paper's §4.4 study. The
+// stop-and-copy baseline lives in internal/stopcopy as an independent,
+// destructively-forwarding implementation, mirroring the paper's comparison
+// against the original SML/NJ collector.
+package core
+
+import (
+	"repligc/internal/heap"
+)
+
+// LogPolicy selects which mutations the mutator records, reproducing the
+// paper's compiler configurations (§4.5).
+type LogPolicy int
+
+const (
+	// LogPointersOnly is the unmodified SML/NJ storelist: only stores of
+	// pointer values are logged (they are what a generational collector
+	// needs). Integer-ref and byte mutations are not recorded.
+	LogPointersOnly LogPolicy = iota
+	// LogAllMutations is the paper's modified compiler: every mutation is
+	// logged, as replication collection requires.
+	LogAllMutations
+)
+
+// String names the policy.
+func (p LogPolicy) String() string {
+	if p == LogPointersOnly {
+		return "pointers-only"
+	}
+	return "all-mutations"
+}
+
+// LogEntry records one mutation: which object, which slot, and whether the
+// slot is a word or a byte. The mutated value is deliberately absent:
+// entries are re-read at processing time, so a later mutation of the same
+// slot is handled by whichever entry is processed last (paper §2.1).
+type LogEntry struct {
+	Obj  heap.Value // the mutated (from-space original) object
+	Slot int32      // word index, or starting byte index when Byte is set
+	Len  int32      // number of bytes covered (byte entries only; >= 1)
+	Byte bool       // byte-granularity store (never a pointer)
+}
+
+// MutationLog is the storelist: an append-only sequence of mutation records
+// shared by the minor and major collections, each of which consumes entries
+// through its own cursor. Entries below both cursors are trimmed.
+type MutationLog struct {
+	entries []LogEntry
+	base    int64 // sequence number of entries[0]
+}
+
+// Append adds an entry and returns its sequence number.
+func (l *MutationLog) Append(e LogEntry) int64 {
+	l.entries = append(l.entries, e)
+	return l.base + int64(len(l.entries)) - 1
+}
+
+// Len returns the sequence number just past the newest entry.
+func (l *MutationLog) Len() int64 { return l.base + int64(len(l.entries)) }
+
+// Base returns the sequence number of the oldest retained entry.
+func (l *MutationLog) Base() int64 { return l.base }
+
+// At returns the entry with sequence number seq, which must be retained.
+func (l *MutationLog) At(seq int64) LogEntry {
+	if seq < l.base || seq >= l.Len() {
+		panic("core: log sequence out of range")
+	}
+	return l.entries[seq-l.base]
+}
+
+// TrimTo discards entries below seq (all cursors must have passed seq).
+func (l *MutationLog) TrimTo(seq int64) {
+	if seq <= l.base {
+		return
+	}
+	if seq > l.Len() {
+		seq = l.Len()
+	}
+	n := seq - l.base
+	k := copy(l.entries, l.entries[n:])
+	l.entries = l.entries[:k]
+	l.base = seq
+}
+
+// Retained reports how many entries are currently held.
+func (l *MutationLog) Retained() int { return len(l.entries) }

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+
+	"repligc/internal/heap"
+	"repligc/internal/simtime"
+)
+
+// Mutator is the interface through which all application code (the MiniML
+// VM, the MiniML compiler, examples) touches the heap. It implements the
+// paper's mutator-side mechanisms: bump allocation in the nursery with
+// collector callbacks, the write barrier that appends to the mutation log,
+// and the getheader operation that follows the forwarding word merged into
+// object headers. Reads are raw loads — under the from-space invariant the
+// mutator always addresses original objects, which is the whole point of
+// replication collection (no read barrier).
+type Mutator struct {
+	H     *heap.Heap
+	Clock *simtime.Clock
+	Cost  simtime.CostModel
+	Log   *MutationLog
+	Roots *RootSet
+	GC    Collector
+
+	// Policy selects which mutations are logged (paper §4.5's compiler
+	// modifications switch).
+	Policy LogPolicy
+
+	// BytesAllocated counts every byte ever allocated; policy scripts are
+	// expressed in this coordinate so that runs with different collectors
+	// flip at identical points.
+	BytesAllocated int64
+
+	// LogWrites counts barrier-produced log entries.
+	LogWrites int64
+
+	handles handleStack
+}
+
+// NewMutator wires a mutator to a heap and clock; the collector is attached
+// separately (collectors need the mutator during construction of a run).
+func NewMutator(h *heap.Heap, clock *simtime.Clock, cost simtime.CostModel, policy LogPolicy) *Mutator {
+	m := &Mutator{
+		H:      h,
+		Clock:  clock,
+		Cost:   cost,
+		Log:    &MutationLog{},
+		Roots:  &RootSet{},
+		Policy: policy,
+	}
+	m.Roots.Register(&m.handles)
+	return m
+}
+
+// AttachGC installs the collector.
+func (m *Mutator) AttachGC(gc Collector) { m.GC = gc }
+
+// Step charges the cost of n mutator instructions (VM bytecodes or units of
+// compiler work). It is how mutator computation advances simulated time.
+func (m *Mutator) Step(n int) {
+	m.Clock.Charge(simtime.AcctMutator, simtime.Duration(n)*m.Cost.Instruction)
+}
+
+// Pacer is implemented by collectors that interleave work with allocation
+// (the concurrent-style pacing of the paper's §6). AllocTax runs at the top
+// of every allocation, before the object exists.
+type Pacer interface {
+	AllocTax(m *Mutator, bytes int64)
+}
+
+// Alloc allocates an object of kind k with length field n (words, or bytes
+// for byte kinds) in the nursery, invoking the collector when the nursery
+// is exhausted. Objects too large for the nursery go directly to the old
+// generation, as in SML/NJ.
+func (m *Mutator) Alloc(k heap.Kind, n int) heap.Value {
+	hdr := heap.MakeHeader(k, n)
+	sizeB := hdr.SizeBytes()
+	if p, ok := m.GC.(Pacer); ok {
+		p.AllocTax(m, sizeB)
+	}
+	// Oversized objects bypass the nursery.
+	if sizeB > m.H.Nursery.LimitBytes()/2 {
+		return m.allocOld(k, n)
+	}
+	for attempt := 0; ; attempt++ {
+		if p, ok := m.H.AllocIn(&m.H.Nursery, k, n); ok {
+			m.chargeAlloc(hdr)
+			if m.GC != nil {
+				m.GC.AfterAlloc(m)
+			}
+			return p
+		}
+		if m.GC == nil || attempt > 0 {
+			panic(fmt.Sprintf("core: nursery exhausted allocating %s[%d] and collector could not recover", k, n))
+		}
+		m.GC.CollectForAlloc(m, hdr.SizeWords())
+	}
+}
+
+// OldAllocNoter is implemented by collectors that must account for objects
+// allocated directly in the old generation (oversized allocations).
+type OldAllocNoter interface {
+	NoteOldAlloc(p heap.Value, hdr heap.Header)
+}
+
+// allocOld allocates directly in the old generation — into the collector's
+// promotion space, so that during an active major collection the object is
+// born in to-space and never needs major copying.
+func (m *Mutator) allocOld(k heap.Kind, n int) heap.Value {
+	hdr := heap.MakeHeader(k, n)
+	space := m.H.OldFrom()
+	if ps, ok := m.GC.(interface{ PromoteSpace() *heap.Space }); ok {
+		space = ps.PromoteSpace()
+	}
+	p, ok := m.H.AllocIn(space, k, n)
+	if !ok {
+		panic(fmt.Sprintf("core: old space exhausted allocating %s[%d]", k, n))
+	}
+	m.chargeAlloc(hdr)
+	if rc, ok := m.GC.(OldAllocNoter); ok {
+		rc.NoteOldAlloc(p, hdr)
+	}
+	return p
+}
+
+func (m *Mutator) chargeAlloc(hdr heap.Header) {
+	m.Clock.Charge(simtime.AcctAlloc, simtime.Duration(hdr.SizeWords())*m.Cost.AllocWord)
+	m.BytesAllocated += hdr.SizeBytes()
+}
+
+// Get reads payload word i of p. No barrier, no forwarding check.
+func (m *Mutator) Get(p heap.Value, i int) heap.Value { return m.H.Load(p, i) }
+
+// Init performs an initialising store into a freshly allocated object.
+// Initialising stores into the nursery are not mutations and are never
+// logged; initialising stores into an object allocated directly in the old
+// generation are logged like mutations, because they can create old→new
+// pointers (the generational remembered set must see them) and can race
+// with an in-progress replication of the object.
+func (m *Mutator) Init(p heap.Value, i int, v heap.Value) {
+	m.H.Store(p, i, v)
+	if !m.H.Nursery.Contains(p) && (m.Policy == LogAllMutations || v.IsPtr()) {
+		m.logMutation(LogEntry{Obj: p, Slot: int32(i)})
+	}
+}
+
+// Set mutates payload word i of p, recording the mutation per the logging
+// policy. This is the write barrier.
+func (m *Mutator) Set(p heap.Value, i int, v heap.Value) {
+	m.H.Store(p, i, v)
+	if m.Policy == LogAllMutations || v.IsPtr() {
+		m.logMutation(LogEntry{Obj: p, Slot: int32(i)})
+	}
+}
+
+// GetByte reads byte i of a byte-kind object.
+func (m *Mutator) GetByte(p heap.Value, i int) byte { return m.H.LoadByte(p, i) }
+
+// SetByte mutates byte i of a byte-kind object. Byte mutations are only
+// logged under LogAllMutations — the paper's compiler modification whose
+// cost shows up in Comp (§4.5).
+func (m *Mutator) SetByte(p heap.Value, i int, b byte) {
+	m.H.StoreByte(p, i, b)
+	if m.Policy == LogAllMutations {
+		m.logMutation(LogEntry{Obj: p, Slot: int32(i), Len: 1, Byte: true})
+	}
+}
+
+// SetByteRange mutates len(data) bytes of a byte-kind object starting at
+// byte off, producing a single coalesced log entry covering the range (the
+// runtime-system equivalent of logging a block store, used by the compiler
+// when it emits code into heap buffers).
+func (m *Mutator) SetByteRange(p heap.Value, off int, data []byte) {
+	for i, b := range data {
+		m.H.StoreByte(p, off+i, b)
+	}
+	if m.Policy == LogAllMutations && len(data) > 0 {
+		m.logMutation(LogEntry{Obj: p, Slot: int32(off), Len: int32(len(data)), Byte: true})
+	}
+}
+
+func (m *Mutator) logMutation(e LogEntry) {
+	m.Log.Append(e)
+	m.LogWrites++
+	m.Clock.Charge(simtime.AcctLogWrite, m.Cost.LogWrite)
+}
+
+// Header returns p's descriptor, following the forwarding word if the
+// object has been replicated — the paper's getheader operation, used by
+// length primitives and polymorphic equality. The forwarding test's cost is
+// charged here; the paper found it unmeasurably small.
+func (m *Mutator) Header(p heap.Value) heap.Header {
+	m.Clock.Charge(simtime.AcctHeaderCheck, m.Cost.HeaderCheck)
+	return m.H.HeaderOf(p)
+}
+
+// Kind returns p's object kind via Header.
+func (m *Mutator) Kind(p heap.Value) heap.Kind { return m.Header(p).Kind() }
+
+// Length returns p's length field via Header.
+func (m *Mutator) Length(p heap.Value) int { return m.Header(p).Len() }
+
+// Eq implements ML polymorphic equality: immediates compare by value,
+// mutable objects by identity, immutable objects structurally.
+func (m *Mutator) Eq(a, b heap.Value) bool {
+	if a == b {
+		return true
+	}
+	if !a.IsPtr() || !b.IsPtr() {
+		return false
+	}
+	ha, hb := m.Header(a), m.Header(b)
+	if ha.Kind() != hb.Kind() || ha.Len() != hb.Len() {
+		return false
+	}
+	if ha.Kind().Mutable() {
+		return false // identity already failed
+	}
+	if !ha.Kind().HasPointers() {
+		for i := 0; i < ha.Len(); i++ {
+			if m.GetByte(a, i) != m.GetByte(b, i) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < ha.Len(); i++ {
+		if !m.Eq(m.Get(a, i), m.Get(b, i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// PushHandle pins v on the shadow stack and returns its handle.
+func (m *Mutator) PushHandle(v heap.Value) Handle {
+	m.handles.slots = append(m.handles.slots, v)
+	return Handle(len(m.handles.slots) - 1)
+}
+
+// HandleVal dereferences a handle.
+func (m *Mutator) HandleVal(h Handle) heap.Value { return m.handles.slots[h] }
+
+// SetHandleVal overwrites the pinned value.
+func (m *Mutator) SetHandleVal(h Handle, v heap.Value) { m.handles.slots[h] = v }
+
+// HandleMark returns the current shadow-stack depth, for scoped release.
+func (m *Mutator) HandleMark() Handle { return Handle(len(m.handles.slots)) }
+
+// PopHandles releases every handle at or above mark.
+func (m *Mutator) PopHandles(mark Handle) {
+	if int(mark) > len(m.handles.slots) {
+		panic("core: PopHandles beyond stack")
+	}
+	m.handles.slots = m.handles.slots[:mark]
+}
+
+// Collapse releases every handle at or above mark and re-pins h's value as
+// the new top of the shadow stack, returning its handle. It performs no
+// allocation, so the value cannot go stale in between.
+func (m *Mutator) Collapse(mark Handle, h Handle) Handle {
+	v := m.HandleVal(h)
+	m.PopHandles(mark)
+	return m.PushHandle(v)
+}
+
+// AllocString allocates an immutable string holding b.
+func (m *Mutator) AllocString(b []byte) heap.Value {
+	p := m.Alloc(heap.KindString, len(b))
+	m.H.SetBytes(p, b)
+	return p
+}
+
+// AllocBytes allocates a mutable byte array of n bytes (zeroed).
+func (m *Mutator) AllocBytes(n int) heap.Value { return m.Alloc(heap.KindBytes, n) }
+
+// GoString copies a string object's payload out as a Go string.
+func (m *Mutator) GoString(p heap.Value) string { return string(m.H.Bytes(p)) }

@@ -1,0 +1,245 @@
+package core_test
+
+import (
+	"testing"
+
+	"repligc/internal/core"
+	"repligc/internal/gctest"
+	"repligc/internal/heap"
+	"repligc/internal/simtime"
+)
+
+// bareMutator builds a mutator without a collector for barrier-level tests
+// that never exhaust the nursery.
+func bareMutator() *core.Mutator {
+	h := heap.New(heap.Config{NurseryBytes: 1 << 20, NurseryCapBytes: 2 << 20, OldSemiBytes: 8 << 20})
+	return core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogAllMutations)
+}
+
+func TestBarrierLoggingPolicies(t *testing.T) {
+	for _, pol := range []core.LogPolicy{core.LogPointersOnly, core.LogAllMutations} {
+		h := heap.New(heap.Config{NurseryBytes: 1 << 20, NurseryCapBytes: 2 << 20, OldSemiBytes: 8 << 20})
+		m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), pol)
+
+		obj := m.Alloc(heap.KindArray, 4)
+		target := m.Alloc(heap.KindRecord, 1)
+		before := m.LogWrites
+		m.Set(obj, 0, target)           // pointer store: always logged
+		m.Set(obj, 1, heap.FromInt(42)) // immediate store: LogAll only
+		bs := m.AllocBytes(8)
+		m.SetByte(bs, 0, 7) // byte store: LogAll only
+		got := m.LogWrites - before
+
+		want := int64(3)
+		if pol == core.LogPointersOnly {
+			want = 1
+		}
+		if got != want {
+			t.Errorf("%v: %d log writes, want %d", pol, got, want)
+		}
+	}
+}
+
+func TestSetByteRangeCoalesces(t *testing.T) {
+	m := bareMutator()
+	p := m.AllocBytes(64)
+	before := m.LogWrites
+	data := []byte("hello world, hello world!")
+	m.SetByteRange(p, 3, data)
+	if m.LogWrites != before+1 {
+		t.Fatalf("range store logged %d entries, want 1", m.LogWrites-before)
+	}
+	for i, b := range data {
+		if m.GetByte(p, 3+i) != b {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	// Empty ranges log nothing.
+	m.SetByteRange(p, 0, nil)
+	if m.LogWrites != before+1 {
+		t.Fatal("empty range produced a log entry")
+	}
+}
+
+func TestInitToOldSpaceIsLogged(t *testing.T) {
+	m := bareMutator()
+	// Oversized: bigger than half the nursery goes straight to old space.
+	big := m.Alloc(heap.KindArray, 80<<10) // 640 KB > 512 KB
+	if !m.H.OldFrom().Contains(big) {
+		t.Fatal("oversized allocation not in old space")
+	}
+	small := m.Alloc(heap.KindRecord, 1)
+	before := m.LogWrites
+	m.Init(big, 0, small) // old→new pointer via Init: must be logged
+	if m.LogWrites != before+1 {
+		t.Fatal("Init into old space not logged")
+	}
+	before = m.LogWrites
+	m.Init(small, 0, heap.FromInt(1)) // nursery Init: never logged
+	if m.LogWrites != before {
+		t.Fatal("nursery Init was logged")
+	}
+}
+
+func TestHandleDiscipline(t *testing.T) {
+	m := bareMutator()
+	mark := m.HandleMark()
+	a := m.PushHandle(m.Alloc(heap.KindRecord, 1))
+	b := m.PushHandle(heap.FromInt(9))
+	if m.HandleVal(b).Int() != 9 {
+		t.Fatal("handle deref broken")
+	}
+	m.SetHandleVal(b, heap.FromInt(10))
+	if m.HandleVal(b).Int() != 10 {
+		t.Fatal("handle update broken")
+	}
+	c := m.Collapse(mark, b)
+	if m.HandleVal(c).Int() != 10 {
+		t.Fatal("collapse lost the value")
+	}
+	if m.HandleMark() != mark+1 {
+		t.Fatalf("collapse left depth %d, want %d", m.HandleMark(), mark+1)
+	}
+	m.PopHandles(mark)
+	_ = a
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PopHandles beyond stack must panic")
+		}
+	}()
+	m.PopHandles(mark + 5)
+}
+
+func TestPolymorphicEquality(t *testing.T) {
+	m := bareMutator()
+	s1 := m.AllocString([]byte("abc"))
+	s2 := m.AllocString([]byte("abc"))
+	s3 := m.AllocString([]byte("abd"))
+	if !m.Eq(s1, s2) || m.Eq(s1, s3) {
+		t.Fatal("string equality broken")
+	}
+
+	mkPair := func(a, b heap.Value) heap.Value {
+		p := m.Alloc(heap.KindRecord, 2)
+		m.Init(p, 0, a)
+		m.Init(p, 1, b)
+		return p
+	}
+	p1 := mkPair(heap.FromInt(1), s1)
+	p2 := mkPair(heap.FromInt(1), s2)
+	p3 := mkPair(heap.FromInt(2), s1)
+	if !m.Eq(p1, p2) || m.Eq(p1, p3) {
+		t.Fatal("structural record equality broken")
+	}
+
+	r1 := m.Alloc(heap.KindRef, 1)
+	r2 := m.Alloc(heap.KindRef, 1)
+	if m.Eq(r1, r2) || !m.Eq(r1, r1) {
+		t.Fatal("ref identity equality broken")
+	}
+	if m.Eq(heap.FromInt(3), s1) || !m.Eq(heap.FromInt(3), heap.FromInt(3)) {
+		t.Fatal("immediate equality broken")
+	}
+	// Different lengths are never equal.
+	if m.Eq(m.AllocString([]byte("ab")), s1) {
+		t.Fatal("length mismatch compared equal")
+	}
+}
+
+// TestOversizedDuringActiveCollections exercises the skip-span machinery:
+// objects allocated directly in old space while incremental collections are
+// in flight are mutator-owned, must not be treated as replicas, and must
+// survive with correct contents.
+func TestOversizedDuringActiveCollections(t *testing.T) {
+	cfg := core.Config{
+		NurseryBytes:        16 << 10,
+		MajorThresholdBytes: 64 << 10,
+		CopyLimitBytes:      2 << 10,
+		IncrementalMinor:    true,
+		IncrementalMajor:    true,
+	}
+	m, gc := newRun(cfg, core.LogAllMutations)
+	d := gctest.NewDriver(m, 3)
+
+	type bigRef struct {
+		arr heap.Value
+	}
+	roots := &bigRef{}
+	m.Roots.Register(rootFunc(func(v core.RootVisitor) { v(&roots.arr) }))
+
+	// Keep churning; periodically allocate an oversized array mid-cycle,
+	// fill it with pointers to fresh nursery objects, and verify later.
+	for round := 0; round < 20; round++ {
+		d.Step(300)
+		big := m.Alloc(heap.KindArray, 2<<10) // 16 KB > half of 16 KB nursery
+		roots.arr = big
+		for i := 0; i < 32; i++ {
+			small := m.Alloc(heap.KindRecord, 1)
+			m.Init(small, 0, heap.FromInt(int64(round*100+i)))
+			m.Set(big, i, small)
+		}
+		d.Step(300)
+		for i := 0; i < 32; i++ {
+			got := m.Get(m.Get(roots.arr, i), 0).Int()
+			if got != int64(round*100+i) {
+				t.Fatalf("round %d slot %d: got %d", round, i, got)
+			}
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	gc.FinishCycles(m)
+	if err := core.AuditHeap(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rootFunc adapts a function to core.RootSource.
+type rootFunc func(core.RootVisitor)
+
+func (f rootFunc) VisitRoots(v core.RootVisitor) { f(v) }
+
+func TestLogTrimming(t *testing.T) {
+	var l core.MutationLog
+	for i := 0; i < 100; i++ {
+		l.Append(core.LogEntry{Slot: int32(i)})
+	}
+	if l.Len() != 100 || l.Base() != 0 {
+		t.Fatalf("len=%d base=%d", l.Len(), l.Base())
+	}
+	l.TrimTo(40)
+	if l.Base() != 40 || l.Retained() != 60 {
+		t.Fatalf("after trim: base=%d retained=%d", l.Base(), l.Retained())
+	}
+	if l.At(40).Slot != 40 || l.At(99).Slot != 99 {
+		t.Fatal("entries shifted incorrectly")
+	}
+	l.TrimTo(10) // no-op backwards
+	if l.Base() != 40 {
+		t.Fatal("backwards trim changed base")
+	}
+	l.TrimTo(1000) // clamped
+	if l.Retained() != 0 {
+		t.Fatal("over-trim retained entries")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At below base must panic")
+		}
+	}()
+	l.At(5)
+}
+
+func TestCollectorlessAllocPanics(t *testing.T) {
+	h := heap.New(heap.Config{NurseryBytes: 8 << 10, NurseryCapBytes: 8 << 10, OldSemiBytes: 1 << 20})
+	m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogAllMutations)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected out-of-memory panic")
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		m.Alloc(heap.KindRecord, 8)
+	}
+}

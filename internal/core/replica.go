@@ -1,0 +1,1216 @@
+package core
+
+import (
+	"fmt"
+
+	"repligc/internal/heap"
+	"repligc/internal/policy"
+	"repligc/internal/simtime"
+)
+
+// Config parameterises the replication collector with the paper's knobs.
+type Config struct {
+	// NurseryBytes is the paper's N: the nursery size at which a minor
+	// collection is initiated.
+	NurseryBytes int64
+	// MajorThresholdBytes is the paper's O: a major collection begins when
+	// the volume promoted by minor collections since the last major
+	// exceeds it. Zero disables major collections.
+	MajorThresholdBytes int64
+	// CopyLimitBytes is the paper's L: the total memory the collections
+	// may copy during a single pause. Zero means unlimited (stop-the-
+	// world behaviour for whichever generations are marked incremental).
+	CopyLimitBytes int64
+	// ExpandBytes is the paper's A: the nursery expansion granted per
+	// pause while an incremental collection is awaiting completion.
+	// Zero defaults to L/2, the paper's choice.
+	ExpandBytes int64
+
+	// IncrementalMinor and IncrementalMajor select the paper's
+	// configurations: both true is the real-time collector; exactly one
+	// true is the minor- or major-incremental variant of §4.4's study.
+	IncrementalMinor bool
+	IncrementalMajor bool
+
+	// LazyLogProcessing defers mutation-log reapplication to the moment
+	// of collection completion (paper §2.5's "delay the need to process
+	// the log until the last possible moment"). Used by the ablation
+	// bench; off by default.
+	LazyLogProcessing bool
+
+	// DeferMutableCopies implements the paper's §2.5 copy-order
+	// opportunity: "The collector could choose to concentrate early
+	// replication effort on only immutable objects, and thereby delay the
+	// need to process the log until the last possible moment." Mutable
+	// nursery objects discovered by the Cheney scan or by log
+	// reapplication are not copied immediately; the referring replica
+	// slot keeps the from-space pointer (a recorded inconsistency, as the
+	// invariant permits) and the copy happens in the completing
+	// increment, when the object's contents are final — so its log
+	// entries never need reapplying at all. Off by default.
+	DeferMutableCopies bool
+
+	// BoundedLogProcessing makes log processing respect the work limit L,
+	// resuming from the same cursor at the next pause. The paper's
+	// implementation processes the log non-incrementally and admits that
+	// this can exceed L (§3.4), noting it "can easily be implemented so
+	// that [it is] performed incrementally" — this flag is that extension.
+	BoundedLogProcessing bool
+
+	// MaxMinorPauses bounds how many pauses one incremental minor
+	// collection may span before it is forced to complete
+	// non-incrementally (the paper's conservative completion / L lower
+	// bound, §3.3). Zero means 1024.
+	MaxMinorPauses int
+
+	// InterleavedTaxPermille enables the concurrent-style pacing of the
+	// paper's §6 ("The replication primitive can be interleaved freely
+	// with mutator activity"): instead of performing collection work in
+	// discrete pauses when the nursery fills, the collector runs a small
+	// work quantum every few kilobytes of allocation — a copying tax of
+	// InterleavedTaxPermille bytes of copy+scan work per 1000 bytes
+	// allocated. Collection starts when the nursery is half full and
+	// normally completes before it fills, so the only stop-the-mutator
+	// events of any size are the atomic flips, as in the authors'
+	// concurrent collector. Zero disables interleaving. Requires
+	// IncrementalMinor.
+	InterleavedTaxPermille int
+
+	// Record, when non-nil, accumulates the run's flip script (§4.2).
+	Record *policy.Script
+	// Replay, when non-nil, drives minor flip points and the major
+	// schedule from a recorded script. Only honoured when IncrementalMinor
+	// is false: collections that complete in one pause can be pinned to
+	// the recorded allocation marks exactly.
+	Replay *policy.Script
+}
+
+func (c Config) expandBytes() int64 {
+	if c.ExpandBytes > 0 {
+		return c.ExpandBytes
+	}
+	return c.CopyLimitBytes / 2
+}
+
+func (c Config) maxMinorPauses() int {
+	if c.MaxMinorPauses > 0 {
+		return c.MaxMinorPauses
+	}
+	return 1024
+}
+
+// Name describes the configuration in the paper's terms.
+func (c Config) Name() string {
+	switch {
+	case c.IncrementalMinor && c.IncrementalMajor:
+		return "rt"
+	case c.IncrementalMinor:
+		return "minor-inc"
+	case c.IncrementalMajor:
+		return "major-inc"
+	default:
+		return "stop-copy(core)"
+	}
+}
+
+// span marks a region of words the Cheney scan must step over
+// (mutator-owned objects allocated directly in the old generation).
+type span struct {
+	start uint64
+	words uint64
+}
+
+// fixup records a to-space slot that holds a from-space pointer to a
+// MUTABLE object and must be re-pointed during the major flip. Slots
+// holding immutable from-space pointers are rewritten eagerly (the mutator
+// cannot observe the difference between an immutable original and its
+// replica), but exposing a mutable replica before the flip would let the
+// mutator read or write it while the collector is still reapplying the
+// original's mutation log — so mutable references stay aimed at the
+// from-space original until the atomic flip.
+type fixup struct {
+	obj  heap.Value // a to-space object (stable address)
+	slot int32
+}
+
+// Replicating is the replication-based incremental collector. It maintains
+// the paper's from-space invariant: the mutator only ever addresses
+// original objects (or replicas that have already been handed over by a
+// flip); the collector incrementally builds replicas, keeps them consistent
+// by reapplying the mutation log, and atomically redirects all roots at a
+// flip.
+//
+// Generations: minor collections replicate the nursery into the old
+// generation's current promotion space; when the promoted volume crosses O
+// a major collection incrementally replicates the old from-space into the
+// reserve semispace. While a major collection is active, minor collections
+// promote directly into the major's to-space ("allocating black"), so fresh
+// promotions never become major copying work — this is what lets the major
+// terminate under a small L even though the mutator keeps promoting, and
+// follows the approach of the authors' concurrent follow-up collector.
+type Replicating struct {
+	cfg   Config
+	h     *heap.Heap
+	stats GCStats
+	rec   simtime.Recorder
+
+	// Cheney state. The minor scan covers only the objects promoted in
+	// the current cycle (it rewrites their nursery pointers before the
+	// minor flip). The major collection traces reachable to-space objects
+	// through an explicit gray worklist instead of a linear cursor, so
+	// objects that are promoted during the major and die before being
+	// reached cost it nothing — neither copying nor fixups.
+	scan         uint64 // minor cursor (fresh promotions this cycle)
+	scanSlot     int    // resume slot within the object at the cursor
+	skips        []span // mutator-owned objects inside the minor scan region
+	minorSkipIdx int
+	pendingMut   []fixup // replica slots holding deferred mutable nursery refs (§2.5)
+
+	grayQ    []heap.Value // to-space objects pending a major scan
+	graySeen []uint64     // bitset over old-to word indices: queued already
+	grayCur  heap.Value   // object whose scan was interrupted by the budget
+	graySlot int          // resume slot within grayCur
+
+	// Minor collection state.
+	minorActive    bool
+	minorLogCursor int64   // next log entry for the minor collection
+	minorRootSeqs  []int64 // old-space pointer entries to re-point at the flip
+	minorPauses    int     // pauses spanned by the active minor collection
+	minorStartCopy int64   // BytesCopiedMinor at cycle start
+	lazyMinorSeqs  []int64 // deferred reapply queue under LazyLogProcessing
+
+	// Major collection state.
+	majorActive        bool
+	majorLogCursor     int64
+	promotedSinceMajor int64
+	fixups             []fixup
+	fixupSeen          map[fixup]struct{} // dedup: a slot is queued once
+	forcedMajorFlip    bool               // replay wants a major flip at the next minor flip
+
+	replay    *policy.Cursor
+	finishing bool // inside FinishCycles: flips are not recorded
+
+	// Interleaved pacing state.
+	taxCredit  int64 // accumulated work credit in bytes
+	microLimit int64 // per-micro-pause work budget (0: normal pauses)
+
+	// Per-pause scratch.
+	pauseCopied   int64 // bytes copied this pause (for the recorder)
+	pauseLogProcd int64 // log entries processed this pause
+	pauseWork     int64 // copy+scan bytes counted against the L budget
+}
+
+// NewReplicating builds a collector over h. Attach it to the mutator with
+// m.AttachGC. The mutator must use LogAllMutations: replication collection
+// is incorrect without a complete mutation log.
+func NewReplicating(h *heap.Heap, cfg Config) *Replicating {
+	c := &Replicating{cfg: cfg, h: h}
+	c.scan = h.OldFrom().Next
+	if cfg.Replay != nil {
+		c.replay = policy.NewCursor(cfg.Replay)
+	}
+	h.Nursery.SetLimitBytes(cfg.NurseryBytes)
+	if cfg.Replay != nil {
+		if d, ok := policy.NewCursor(cfg.Replay).NurseryDelta(0); ok {
+			h.Nursery.SetLimitBytes(d)
+		}
+	}
+	return c
+}
+
+// Name implements Collector.
+func (c *Replicating) Name() string { return c.cfg.Name() }
+
+// Stats implements Collector.
+func (c *Replicating) Stats() *GCStats { return &c.stats }
+
+// Pauses implements Collector.
+func (c *Replicating) Pauses() *simtime.Recorder { return &c.rec }
+
+// AfterAlloc implements Collector; flip points are steered by nursery
+// limits, so nothing happens here.
+func (c *Replicating) AfterAlloc(m *Mutator) {}
+
+// PromoteSpace reports where promotions (and oversized direct allocations)
+// go: the old from-space normally, the major's to-space while a major
+// collection is in progress.
+func (c *Replicating) PromoteSpace() *heap.Space {
+	if c.majorActive {
+		return c.h.OldTo()
+	}
+	return c.h.OldFrom()
+}
+
+// NoteOldAlloc records an object allocated directly in the old generation
+// (oversized allocations). It counts toward the major threshold O, and it
+// must be excluded from the Cheney scan: the object is owned by the mutator
+// (it is not a replica), so rewriting its nursery pointers before the flip
+// would violate the from-space invariant. Its old→new and old→old pointers
+// reach the collector through Init's logging instead.
+func (c *Replicating) NoteOldAlloc(p heap.Value, hdr heap.Header) {
+	c.promotedSinceMajor += hdr.SizeBytes()
+	if c.minorActive {
+		// The object sits inside the current minor scan region but is
+		// owned by the mutator; the scan must step over it. Its contents
+		// reach the collector through Init's logging.
+		start := uint64(p)>>3 - 1 // header word index
+		c.skips = append(c.skips, span{start: start, words: uint64(hdr.SizeWords())})
+		return
+	}
+	// Between cycles the minor cursor just tracks the frontier.
+	c.scan = c.PromoteSpace().Next
+	c.scanSlot = 0
+}
+
+// workLimit returns the per-pause work allowance in bytes of copy+scan
+// traffic, or 0 for unlimited. L bounds the memory *copied* per pause
+// (paper §3.3); since every copied byte is also scanned exactly once over a
+// collection's lifetime, bounding copy+scan at 2L yields steady pauses of
+// about L / (2 MB/s) — 50 ms at the paper's L = 100 KB.
+func (c *Replicating) workLimit() int64 {
+	if c.microLimit > 0 {
+		return c.microLimit
+	}
+	if c.cfg.CopyLimitBytes <= 0 || !c.cfg.IncrementalMinor && !c.cfg.IncrementalMajor {
+		return 0
+	}
+	return 2 * c.cfg.CopyLimitBytes
+}
+
+// taxQuantum is the work size of one interleaved micro-pause (bytes of
+// copy+scan); 4 KB is about one millisecond at the paper's copying rate.
+const taxQuantum = 4 << 10
+
+// AllocTax implements the interleaved (concurrent-style) pacing: called at
+// the top of every allocation, before the object exists, which is a safe
+// point — a flip here redirects all roots and the caller holds no
+// unprotected heap values.
+func (c *Replicating) AllocTax(m *Mutator, bytes int64) {
+	if c.cfg.InterleavedTaxPermille <= 0 {
+		return
+	}
+	c.taxCredit += bytes * int64(c.cfg.InterleavedTaxPermille) / 1000
+	if c.taxCredit < taxQuantum {
+		return
+	}
+	minorDue := c.minorActive || c.h.Nursery.UsedBytes() >= c.cfg.NurseryBytes/2
+	if !minorDue && !c.majorActive {
+		// Nothing worth doing yet; keep a bounded credit so an idle
+		// stretch does not bank an unbounded work debt.
+		if c.taxCredit > 4*taxQuantum {
+			c.taxCredit = 4 * taxQuantum
+		}
+		return
+	}
+	budget := c.taxCredit
+	c.taxCredit = 0
+	c.microLimit = budget
+	if minorDue {
+		c.pause(m, 0, false)
+	} else {
+		// Only the major collection has pending work: run a mid-cycle
+		// major increment without forcing a (trivial) minor collection.
+		m.Clock.BeginPause()
+		at := m.Clock.Now()
+		c.pauseCopied, c.pauseLogProcd, c.pauseWork = 0, 0, 0
+		c.stats.PauseCount++
+		c.runMajorIncrement(m, false, false)
+		c.rec.Record(simtime.Pause{
+			At: at, Length: m.Clock.EndPause(), Kind: simtime.PauseMinor,
+			CopiedB: c.pauseCopied, LogProcN: c.pauseLogProcd,
+		})
+	}
+	c.microLimit = 0
+}
+
+// entryWorkBytes is the work-budget weight of examining one log entry
+// under BoundedLogProcessing (roughly the footprint of a small object).
+const entryWorkBytes = 16
+
+// CollectForAlloc implements Collector: one garbage-collection pause.
+func (c *Replicating) CollectForAlloc(m *Mutator, needWords int) {
+	c.pause(m, needWords, false)
+}
+
+// FinishCycles implements Collector: drive all pending incremental work to
+// completion so total copy volumes are comparable across configurations.
+func (c *Replicating) FinishCycles(m *Mutator) {
+	if !c.minorActive && !c.majorActive {
+		return
+	}
+	// Run ordinary budgeted pauses so the tail of the run has the same
+	// bounded-pause behaviour as the rest; fall back to forced completion
+	// only if the collection fails to converge. Flips forced here are an
+	// end-of-run artifact and are not recorded into policy scripts.
+	c.finishing = true
+	for i := 0; c.minorActive || c.majorActive; i++ {
+		c.pause(m, 0, i > 1<<16)
+	}
+	c.finishing = false
+}
+
+// pause stops the mutator and performs one increment of collection work.
+// When force is set the pause ignores budgets and completes everything.
+func (c *Replicating) pause(m *Mutator, needWords int, force bool) {
+	m.Clock.BeginPause()
+	at := m.Clock.Now()
+	c.pauseCopied, c.pauseLogProcd, c.pauseWork = 0, 0, 0
+	c.stats.PauseCount++
+
+	if !c.minorActive {
+		c.startMinor(m)
+	}
+	c.minorPauses++
+	forceMinor := force || !c.cfg.IncrementalMinor || c.minorPauses > c.cfg.maxMinorPauses()
+	if c.minorPauses > c.cfg.maxMinorPauses() {
+		c.stats.ForcedCompletion++
+	}
+
+	kind := simtime.PauseMinor
+	if c.runMinorIncrement(m, forceMinor) {
+		majorFlipped := c.afterMinorFlip(m, force)
+		if majorFlipped && !c.cfg.IncrementalMajor {
+			kind = simtime.PauseMajor
+		}
+	} else if needWords > 0 || c.h.Nursery.FreeWords() == 0 {
+		// Await completion: grant the mutator room to keep allocating
+		// (paper parameter A), enough for the pending allocation. Pauses
+		// that were not forced by a failed allocation (interleaved micro-
+		// pauses) skip the expansion — the nursery still has room.
+		grow := c.cfg.expandBytes()
+		needB := int64(needWords) * heap.BytesPerWord
+		if grow < needB {
+			grow = needB
+		}
+		granted := c.h.Nursery.GrowBytes(grow)
+		c.stats.NurseryExpansion += granted
+		if granted < needB {
+			// No headroom left: conservative completion.
+			c.stats.ForcedCompletion++
+			if !c.runMinorIncrement(m, true) {
+				panic("core: forced minor completion did not complete")
+			}
+			c.afterMinorFlip(m, force)
+		}
+	}
+
+	length := m.Clock.EndPause()
+	if DebugPause != nil && length > 100*simtime.Millisecond {
+		DebugPause(c, m, length)
+	}
+	c.rec.Record(simtime.Pause{
+		At: at, Length: length, Kind: kind,
+		CopiedB: c.pauseCopied, LogProcN: c.pauseLogProcd,
+	})
+}
+
+// DebugPause, when set, is invoked for long pauses (test diagnostics).
+var DebugPause func(c *Replicating, m *Mutator, length simtime.Duration)
+
+// startMinor begins a minor collection cycle.
+func (c *Replicating) startMinor(m *Mutator) {
+	c.minorActive = true
+	c.minorPauses = 0
+	c.minorStartCopy = c.stats.BytesCopiedMinor
+	// The minor log cursor persists across cycles: entries logged since
+	// the previous flip are this cycle's remembered set. The minor scan
+	// cursor tracks the promotion frontier; everything below it belongs
+	// to earlier cycles (and, during a major, to the major scan).
+	c.scan = c.PromoteSpace().Next
+	c.scanSlot = 0
+	c.minorSkipIdx = len(c.skips)
+}
+
+// overBudget reports whether the current pause has used its copy+scan work
+// allowance. Log processing, root scanning and flips are not limited by L
+// by default (the paper's §3.4 caveats).
+func (c *Replicating) overBudget(force bool) bool {
+	limit := c.workLimit()
+	return !force && limit > 0 && c.pauseWork >= limit
+}
+
+// runMinorIncrement performs one increment of the minor collection and
+// reports whether the collection completed (including its flip).
+func (c *Replicating) runMinorIncrement(m *Mutator, force bool) bool {
+	h := c.h
+
+	// 1. Process the mutation log: discover minor roots (old-space slots
+	// holding nursery pointers) and keep replicas up to date. By default
+	// log processing is not incremental (paper §3.4) and ignores L; with
+	// BoundedLogProcessing it stops at the work limit and resumes at the
+	// next pause.
+	if !c.processMinorLog(m, force) {
+		return false
+	}
+
+	// 2. Cheney scan of the objects promoted this cycle.
+	if !c.scanFresh(m, force) {
+		return false
+	}
+
+	// 3. The log is drained and the scan has caught up: attempt
+	// completion. Only now are the mutator roots scanned — intermediate
+	// increments make their progress through the log and the Cheney scan,
+	// so the (per-pause-constant) root-scan cost is paid once per
+	// collection rather than once per increment. Root referents are
+	// replicated within the budget; an aborted pass is retried by a later
+	// increment.
+	aborted := false
+	n := m.Roots.Visit(func(slot *heap.Value) {
+		if aborted {
+			return
+		}
+		v := *slot
+		if h.Nursery.Contains(v) {
+			c.replicateMinor(m, v)
+			if c.overBudget(force) {
+				aborted = true
+			}
+		}
+	})
+	c.chargeRoots(m, n)
+	if aborted {
+		return false
+	}
+	// The roots may have enqueued fresh copies; finish scanning them.
+	if !c.scanFresh(m, force) {
+		return false
+	}
+
+	// 4. Lazy mode deferred its reapplies to this moment.
+	if c.cfg.LazyLogProcessing {
+		c.drainLazyMinor(m)
+		// Reapplication may have replicated new objects; finish scanning.
+		if !c.scanFresh(m, true) {
+			panic("core: lazy completion scan did not finish")
+		}
+	}
+	// Deferred mutable copies happen now, when their contents are final;
+	// each round of copies can expose more deferred references, so loop
+	// to a fixpoint.
+	for len(c.pendingMut) > 0 {
+		c.drainPendingMutables(m)
+		if !c.scanFresh(m, true) {
+			panic("core: pending-mutable completion scan did not finish")
+		}
+	}
+	if c.minorLogCursor != m.Log.Len() {
+		return false
+	}
+
+	c.minorFlip(m)
+	return true
+}
+
+// processMinorLog consumes pending log entries for the minor collection;
+// it reports whether the log was fully drained.
+func (c *Replicating) processMinorLog(m *Mutator, force bool) bool {
+	h := c.h
+	for c.minorLogCursor < m.Log.Len() {
+		if c.cfg.BoundedLogProcessing {
+			if c.overBudget(force) {
+				return false
+			}
+			c.pauseWork += entryWorkBytes
+		}
+		seq := c.minorLogCursor
+		e := m.Log.At(seq)
+		c.minorLogCursor++
+		c.stats.LogScanned++
+		c.pauseLogProcd++
+		m.Clock.Charge(simtime.AcctLogScan, m.Cost.LogScan)
+
+		switch {
+		case h.Nursery.Contains(e.Obj):
+			if c.cfg.LazyLogProcessing {
+				c.lazyMinorSeqs = append(c.lazyMinorSeqs, seq)
+				continue
+			}
+			c.reapplyMinor(m, e)
+		case h.OldFrom().Contains(e.Obj), h.OldTo().Contains(e.Obj):
+			// A mutation to an old object: a minor root when it stores a
+			// nursery pointer. (Old-to objects are mutator-visible while
+			// a major collection is active: promoted objects and direct
+			// allocations live there.)
+			if e.Byte {
+				continue // byte data holds no roots
+			}
+			v := h.Load(e.Obj, int(e.Slot))
+			if h.Nursery.Contains(v) {
+				c.replicateMinor(m, v)
+				c.minorRootSeqs = append(c.minorRootSeqs, seq)
+			}
+		}
+	}
+	return true
+}
+
+// reapplyMinor brings the replica of a mutated, already-replicated nursery
+// object up to date with one logged mutation.
+func (c *Replicating) reapplyMinor(m *Mutator, e LogEntry) {
+	h := c.h
+	if !h.IsForwarded(e.Obj) {
+		return // not yet replicated; the copy will carry current contents
+	}
+	replica := h.ForwardAddr(e.Obj)
+	c.stats.LogReapplied++
+	m.Clock.Charge(simtime.AcctLogReapply, m.Cost.LogReapply)
+	if e.Byte {
+		for i := int32(0); i < e.Len; i++ {
+			h.StoreByte(replica, int(e.Slot+i), h.LoadByte(e.Obj, int(e.Slot+i)))
+		}
+		return
+	}
+	v := h.Load(e.Obj, int(e.Slot))
+	if h.Nursery.Contains(v) {
+		v = c.minorValue(m, v, replica, int(e.Slot))
+	} else {
+		v = c.toSpaceValue(m, v, replica, int(e.Slot))
+	}
+	h.Store(replica, int(e.Slot), v)
+	// If the replica was already traced by an active major, the store may
+	// have introduced an untraced to-space reference.
+	if c.majorActive && h.OldTo().Contains(v) {
+		c.queueGray(v)
+	}
+}
+
+// drainLazyMinor reapplies all deferred mutations at completion time.
+func (c *Replicating) drainLazyMinor(m *Mutator) {
+	for _, seq := range c.lazyMinorSeqs {
+		if seq < m.Log.Base() {
+			panic("core: lazy log entry trimmed prematurely")
+		}
+		c.reapplyMinor(m, m.Log.At(seq))
+	}
+	c.lazyMinorSeqs = c.lazyMinorSeqs[:0]
+}
+
+// minorValue prepares a nursery value for storage into a replica slot.
+// Under DeferMutableCopies, references to not-yet-copied mutable objects
+// are left pointing into the nursery and the slot is queued; the copy (and
+// the slot fix) happen in the completing increment.
+func (c *Replicating) minorValue(m *Mutator, v heap.Value, slotObj heap.Value, slot int) heap.Value {
+	h := c.h
+	if h.IsForwarded(v) {
+		return h.ForwardAddr(v)
+	}
+	if c.cfg.DeferMutableCopies && heap.Header(h.RawHeader(v)).Kind().Mutable() {
+		c.pendingMut = append(c.pendingMut, fixup{obj: slotObj, slot: int32(slot)})
+		return v
+	}
+	return c.replicateMinor(m, v)
+}
+
+// drainPendingMutables copies the deferred mutable objects and re-points
+// the recorded slots; runs at completion, when contents are final.
+func (c *Replicating) drainPendingMutables(m *Mutator) {
+	h := c.h
+	for _, f := range c.pendingMut {
+		v := h.Load(f.obj, int(f.slot))
+		if !h.Nursery.Contains(v) {
+			continue // overwritten since; a later entry handled it
+		}
+		h.Store(f.obj, int(f.slot), c.replicateMinor(m, v))
+	}
+	c.pendingMut = c.pendingMut[:0]
+}
+
+// replicateMinor ensures v (a nursery object) has a replica in the
+// promotion space and returns the replica pointer. The original stays
+// intact — its header word now carries the forwarding pointer (paper §3.2).
+func (c *Replicating) replicateMinor(m *Mutator, v heap.Value) heap.Value {
+	h := c.h
+	if h.IsForwarded(v) {
+		return h.ForwardAddr(v)
+	}
+	hdr := heap.Header(h.RawHeader(v))
+	replica, ok := h.CopyObject(v, c.PromoteSpace())
+	if !ok {
+		panic("core: promotion space exhausted during minor replication")
+	}
+	h.SetForward(v, replica)
+	b := hdr.SizeBytes()
+	c.stats.BytesCopiedMinor += b
+	c.pauseCopied += b
+	c.pauseWork += b
+	m.Clock.Charge(simtime.AcctMinorCopy, simtime.Duration(hdr.SizeWords())*m.Cost.CopyWord)
+	return replica
+}
+
+// queueGray adds a to-space object to the major's scan worklist unless it
+// is already queued or scanned. Liveness is established by the caller: only
+// objects reachable from roots, from old-space survivors, or from other
+// gray objects are ever queued, so dead promotions are never scanned.
+func (c *Replicating) queueGray(p heap.Value) {
+	if !c.majorActive || !c.h.OldTo().Contains(p) {
+		return
+	}
+	idx := uint64(p)>>3 - c.h.OldTo().Lo
+	word, bit := idx/64, idx%64
+	if c.graySeen[word]&(1<<bit) != 0 {
+		return
+	}
+	c.graySeen[word] |= 1 << bit
+	c.grayQ = append(c.grayQ, p)
+}
+
+// replicateMajor ensures v (an old from-space object) has a replica in
+// old-to and returns it. Only meaningful while a major is active.
+func (c *Replicating) replicateMajor(m *Mutator, v heap.Value) heap.Value {
+	h := c.h
+	if h.IsForwarded(v) {
+		return h.ForwardAddr(v)
+	}
+	hdr := heap.Header(h.RawHeader(v))
+	replica, ok := h.CopyObject(v, h.OldTo())
+	if !ok {
+		panic("core: to-space exhausted during major replication")
+	}
+	h.SetForward(v, replica)
+	b := hdr.SizeBytes()
+	c.stats.BytesCopiedMajor += b
+	c.pauseCopied += b
+	c.pauseWork += b
+	m.Clock.Charge(simtime.AcctMajorCopy, simtime.Duration(hdr.SizeWords())*m.Cost.CopyWord)
+	c.queueGray(replica)
+	return replica
+}
+
+// toSpaceValue prepares a value for storage into a to-space slot while a
+// major collection is active. From-space referents are replicated;
+// immutable references are redirected to the replica immediately (the
+// mutator cannot tell originals and replicas of immutable objects apart),
+// while mutable references keep pointing at the original — exposing a
+// mutable replica before the flip would break the from-space invariant —
+// and the slot is queued for re-pointing during the major flip.
+func (c *Replicating) toSpaceValue(m *Mutator, v heap.Value, slotObj heap.Value, slot int) heap.Value {
+	if !c.majorActive || !c.h.OldFrom().Contains(v) {
+		return v
+	}
+	if c.h.HeaderOf(v).Kind().Mutable() {
+		f := fixup{obj: slotObj, slot: int32(slot)}
+		if _, dup := c.fixupSeen[f]; !dup {
+			c.fixupSeen[f] = struct{}{}
+			c.fixups = append(c.fixups, f)
+		}
+		// Under §2.5 deferred copying the mutable object itself is not
+		// replicated until the major's completion attempts, so mutations
+		// made to it in the meantime never need reapplying; otherwise
+		// copy eagerly (the slot still waits for the flip either way).
+		if !c.cfg.DeferMutableCopies {
+			c.replicateMajor(m, v)
+		}
+		return v
+	}
+	return c.replicateMajor(m, v)
+}
+
+// drainDeferredMajorMutables replicates the mutable old-from objects whose
+// copies were deferred (their slots are the recorded fixups), queueing the
+// replicas for tracing. Budget-gated; reports whether everything pending
+// was copied.
+func (c *Replicating) drainDeferredMajorMutables(m *Mutator, force bool) bool {
+	h := c.h
+	for _, f := range c.fixups {
+		v := h.Load(f.obj, int(f.slot))
+		if !h.OldFrom().Contains(v) || h.IsForwarded(v) {
+			continue
+		}
+		if c.overBudget(force) {
+			return false
+		}
+		c.replicateMajor(m, v)
+	}
+	return true
+}
+
+// scanFresh advances the minor Cheney scan over the objects promoted in
+// the current cycle, rewriting their nursery pointers to promoted replicas.
+// From-space references in fresh promotions are left untouched here — the
+// mutator is entitled to use from-space originals, and the major scan deals
+// with them at its own pace. It reports whether the scan caught up with the
+// promotion frontier.
+func (c *Replicating) scanFresh(m *Mutator, force bool) bool {
+	h := c.h
+	space := c.PromoteSpace()
+	for c.scan < space.Next {
+		if c.scanSlot == 0 && c.minorSkipIdx < len(c.skips) && c.skips[c.minorSkipIdx].start == c.scan {
+			c.scan += c.skips[c.minorSkipIdx].words
+			c.minorSkipIdx++
+			continue
+		}
+		if c.overBudget(force) {
+			return false
+		}
+		w := h.Arena[c.scan]
+		if !heap.IsHeader(w) {
+			panic(fmt.Sprintf("core: minor scan hit forwarded object at %#x", c.scan))
+		}
+		hdr := heap.Header(w)
+		p := heap.Value((c.scan + 1) << 3)
+		if !hdr.Kind().HasPointers() {
+			c.pauseWork += hdr.SizeBytes()
+			m.Clock.Charge(simtime.AcctMinorCopy, simtime.Duration(hdr.SizeWords())*m.Cost.ScanWord)
+			c.scan += uint64(hdr.SizeWords())
+			continue
+		}
+		// Pointer-bearing objects are scanned slot by slot so that even a
+		// single large object cannot blow the pause budget (the paper's
+		// §3.4 incremental-large-object extension); the slot cursor
+		// resumes at the next increment.
+		if c.scanSlot == 0 {
+			c.pauseWork += heap.BytesPerWord // header word
+			m.Clock.Charge(simtime.AcctMinorCopy, m.Cost.ScanWord)
+		}
+		i := c.scanSlot
+		for ; i < hdr.Len(); i++ {
+			if c.overBudget(force) {
+				c.scanSlot = i
+				return false
+			}
+			c.pauseWork += heap.BytesPerWord
+			m.Clock.Charge(simtime.AcctMinorCopy, m.Cost.ScanWord)
+			v := h.Load(p, i)
+			if h.Nursery.Contains(v) {
+				h.Store(p, i, c.minorValue(m, v, p, i))
+			}
+		}
+		c.scanSlot = 0
+		c.scan += uint64(hdr.SizeWords())
+	}
+	return true
+}
+
+// scanGray drains the major's gray worklist within the work budget: each
+// reachable to-space object is scanned once, replicating its from-space
+// referents (rewriting immutable ones, queueing fixups for mutable ones)
+// and propagating grayness to its to-space referents. Scanning is
+// resumable *within* an object, so even a single large array cannot blow
+// the pause budget — the incremental-large-object extension the paper
+// suggests in §3.4. It reports whether the worklist emptied.
+func (c *Replicating) scanGray(m *Mutator, force bool) bool {
+	h := c.h
+	for {
+		var p heap.Value
+		var start int
+		if c.grayCur != heap.Nil {
+			p, start = c.grayCur, c.graySlot
+			c.grayCur, c.graySlot = heap.Nil, 0
+		} else {
+			if len(c.grayQ) == 0 {
+				return true
+			}
+			if c.overBudget(force) {
+				return false
+			}
+			p = c.grayQ[len(c.grayQ)-1]
+			c.grayQ = c.grayQ[:len(c.grayQ)-1]
+		}
+		hdr := heap.Header(h.RawHeader(p))
+		if !heap.IsHeader(heap.Value(hdr)) {
+			panic("core: gray object is forwarded")
+		}
+		if !hdr.Kind().HasPointers() {
+			c.pauseWork += hdr.SizeBytes()
+			m.Clock.Charge(simtime.AcctMajorCopy, simtime.Duration(hdr.SizeWords())*m.Cost.ScanWord)
+			continue
+		}
+		if start == 0 {
+			c.pauseWork += heap.BytesPerWord // header word
+			m.Clock.Charge(simtime.AcctMajorCopy, m.Cost.ScanWord)
+		}
+		for i := start; i < hdr.Len(); i++ {
+			if c.overBudget(force) {
+				c.grayCur, c.graySlot = p, i
+				return false
+			}
+			c.pauseWork += heap.BytesPerWord
+			m.Clock.Charge(simtime.AcctMajorCopy, m.Cost.ScanWord)
+			v := h.Load(p, i)
+			switch {
+			case h.OldFrom().Contains(v):
+				h.Store(p, i, c.toSpaceValue(m, v, p, i))
+			case h.OldTo().Contains(v):
+				c.queueGray(v)
+			}
+		}
+	}
+}
+
+func (c *Replicating) chargeRoots(m *Mutator, n int) {
+	c.stats.RootSlotUpdates += int64(n)
+	m.Clock.Charge(simtime.AcctRootScan, simtime.Duration(n)*m.Cost.RootUpdate)
+}
+
+// minorFlip atomically redirects the mutator onto the replicas: logged
+// old-space slots (the minor roots) are re-pointed via an extra traversal
+// of the filtered log (the paper's CF cost), then every mutator root is
+// updated, and the nursery is discarded.
+func (c *Replicating) minorFlip(m *Mutator) {
+	h := c.h
+
+	// Re-point logged old-space locations at promoted replicas.
+	for _, seq := range c.minorRootSeqs {
+		e := m.Log.At(seq)
+		v := h.Load(e.Obj, int(e.Slot))
+		if !h.Nursery.Contains(v) {
+			continue // overwritten since; a later entry handled it
+		}
+		if !h.IsForwarded(v) {
+			c.replicateMinor(m, v)
+		}
+		h.Store(e.Obj, int(e.Slot), h.ForwardAddr(v))
+		c.stats.FlipEntryUpdates++
+		m.Clock.Charge(simtime.AcctFlip, m.Cost.FlipEntry)
+		if c.majorActive {
+			// The newly referenced promoted object is reachable from old
+			// data: trace it. If the holder is an old-from object, the
+			// major must also observe the store (reapply to its replica).
+			c.queueGray(h.ForwardAddr(v))
+			if h.OldFrom().Contains(e.Obj) {
+				m.Log.Append(LogEntry{Obj: e.Obj, Slot: e.Slot})
+			} else {
+				c.queueGray(e.Obj)
+			}
+		}
+	}
+	c.minorRootSeqs = c.minorRootSeqs[:0]
+
+	// Update every mutator root; while a major is active the promoted
+	// replicas the roots now reference are live and must be traced.
+	n := m.Roots.Visit(func(slot *heap.Value) {
+		v := *slot
+		if h.Nursery.Contains(v) {
+			if !h.IsForwarded(v) {
+				panic("core: unreplicated root at minor flip")
+			}
+			*slot = h.ForwardAddr(v)
+			c.queueGray(*slot)
+		}
+	})
+	c.stats.RootSlotUpdates += int64(n)
+	m.Clock.Charge(simtime.AcctFlip, simtime.Duration(n)*m.Cost.RootUpdate)
+
+	// Advance the minor cursor over anything the flip appended for the
+	// major collection: those entries are not nursery business.
+	c.minorLogCursor = m.Log.Len()
+
+	// Discard the nursery and grant the next cycle's allocation room.
+	h.Nursery.Reset()
+	promoted := c.stats.BytesCopiedMinor - c.minorStartCopy
+	c.promotedSinceMajor += promoted
+	c.stats.MinorCollections++
+	c.minorActive = false
+	// Skip spans expire with the cycle: the minor scan has passed them,
+	// and the major traces by reachability rather than by region.
+	c.skips = c.skips[:0]
+	c.minorSkipIdx = 0
+
+	c.stats.FlipCopied = append(c.stats.FlipCopied, c.stats.TotalBytesCopied())
+	if c.cfg.Record != nil && !c.finishing {
+		// MajorFlip is patched by afterMinorFlip if a major completes in
+		// this pause.
+		c.cfg.Record.Record(policy.Event{AllocMark: m.BytesAllocated})
+	}
+	c.setNextNurseryLimit(m)
+	c.trimLog(m)
+}
+
+// setNextNurseryLimit restores the nursery limit for the next cycle: the
+// configured N, or the replayed allocation delta from the script.
+func (c *Replicating) setNextNurseryLimit(m *Mutator) {
+	limit := c.cfg.NurseryBytes
+	if c.replay != nil {
+		if ev, ok := c.replay.Next(); ok {
+			c.forcedMajorFlip = ev.MajorFlip
+			if d, ok := c.replay.NurseryDelta(m.BytesAllocated); ok {
+				limit = d
+			}
+		}
+	}
+	// Keep a sane floor so a replayed delta can always satisfy the
+	// allocation that triggered the pause.
+	const floor = 64 << 10
+	if limit < floor {
+		limit = floor
+	}
+	c.h.Nursery.SetLimitBytes(limit)
+}
+
+// trimLog drops log entries no collection still needs.
+func (c *Replicating) trimLog(m *Mutator) {
+	low := c.minorLogCursor
+	if c.majorActive && c.majorLogCursor < low {
+		low = c.majorLogCursor
+	}
+	m.Log.TrimTo(low)
+}
+
+// afterMinorFlip runs the major-generation work that the paper schedules
+// immediately after each minor termination: activate a major collection
+// when the promotion threshold O is crossed, then perform major work within
+// the pause's remaining budget (or, if the minor work already exhausted it,
+// process the log only). It reports whether a major flip completed.
+func (c *Replicating) afterMinorFlip(m *Mutator, force bool) bool {
+	if !c.majorActive {
+		trigger := c.cfg.MajorThresholdBytes > 0 && c.promotedSinceMajor >= c.cfg.MajorThresholdBytes
+		if c.replay != nil {
+			trigger = c.forcedMajorFlip
+		}
+		if !trigger {
+			return false
+		}
+		c.startMajor(m)
+	}
+	forceMajor := force || !c.cfg.IncrementalMajor || (c.replay != nil && c.forcedMajorFlip)
+	// Under interleaved pacing, the post-flip increment is the only moment
+	// a major can complete; give it a quarter of the standard per-pause
+	// work budget rather than the micro quantum (flips are the one place
+	// the concurrent design stops the mutator for real work, but they
+	// should still stay well under the pause target).
+	micro := c.microLimit
+	if micro > 0 {
+		bigger := c.cfg.CopyLimitBytes / 2
+		if bigger > micro {
+			c.microLimit = bigger
+		}
+	}
+	flipped := c.runMajorIncrement(m, forceMajor, true)
+	c.microLimit = micro
+	if flipped {
+		c.forcedMajorFlip = false
+		if c.cfg.Record != nil && !c.finishing && c.cfg.Record.Len() > 0 {
+			c.cfg.Record.Events[c.cfg.Record.Len()-1].MajorFlip = true
+		}
+	}
+	return flipped
+}
+
+// startMajor begins a major collection cycle. It must be called right after
+// a minor flip, when the nursery is empty and no old→nursery pointers
+// exist. From this moment promotions land in old-to (allocated black) and
+// the unified scan cursor moves there with them.
+func (c *Replicating) startMajor(m *Mutator) {
+	c.majorActive = true
+	c.majorLogCursor = m.Log.Len()
+	c.scan = c.h.OldTo().Next
+	c.scanSlot = 0
+	words := c.h.OldTo().Cap - c.h.OldTo().Lo
+	c.graySeen = make([]uint64, words/64+1)
+	c.grayQ = c.grayQ[:0]
+	c.grayCur = heap.Nil
+	c.graySlot = 0
+	c.fixupSeen = make(map[fixup]struct{})
+}
+
+// runMajorIncrement performs one increment of the major collection and
+// reports whether it completed (including its flip). Log processing always
+// runs; replication work is skipped when the pause budget is already spent
+// (paper §3.3). postFlip marks increments running right after a minor flip,
+// when no old→nursery pointers exist; increments interleaved mid-cycle
+// (concurrent-style pacing, §6) pass false, and a logged slot whose current
+// value still points into the nursery blocks the log queue until the next
+// minor flip re-points it. Completion is only possible post-flip.
+func (c *Replicating) runMajorIncrement(m *Mutator, force, postFlip bool) bool {
+	h := c.h
+
+	// 1. Drain the major log: reapply mutations to existing replicas of
+	// old-from objects, and track from-space references stored into
+	// mutator-visible to-space objects.
+logLoop:
+	for c.majorLogCursor < m.Log.Len() {
+		if c.cfg.BoundedLogProcessing {
+			if c.overBudget(force) {
+				return false
+			}
+			c.pauseWork += entryWorkBytes
+		}
+		e := m.Log.At(c.majorLogCursor)
+		c.majorLogCursor++
+		c.stats.LogScanned++
+		c.pauseLogProcd++
+		m.Clock.Charge(simtime.AcctLogScan, m.Cost.LogScan)
+
+		switch {
+		case h.OldFrom().Contains(e.Obj):
+			if !h.IsForwarded(e.Obj) {
+				continue // unreplicated: the copy will carry current contents
+			}
+			replica := h.ForwardAddr(e.Obj)
+			if !e.Byte {
+				v := h.Load(e.Obj, int(e.Slot))
+				if h.Nursery.Contains(v) {
+					if postFlip {
+						panic("core: old object holds nursery pointer after a minor flip")
+					}
+					// Mid-cycle: the slot will be re-pointed by the next
+					// minor flip; retry this entry then.
+					c.majorLogCursor--
+					c.stats.LogScanned--
+					c.pauseLogProcd--
+					break logLoop
+				}
+			}
+			c.stats.LogReapplied++
+			m.Clock.Charge(simtime.AcctLogReapply, m.Cost.LogReapply)
+			if e.Byte {
+				for i := int32(0); i < e.Len; i++ {
+					h.StoreByte(replica, int(e.Slot+i), h.LoadByte(e.Obj, int(e.Slot+i)))
+				}
+				continue
+			}
+			v := h.Load(e.Obj, int(e.Slot))
+			if h.OldTo().Contains(v) {
+				// The replica may already have been scanned; make sure
+				// the newly referenced to-space object is traced.
+				c.queueGray(v)
+			}
+			h.Store(replica, int(e.Slot), c.toSpaceValue(m, v, replica, int(e.Slot)))
+
+		case h.OldTo().Contains(e.Obj):
+			// A mutator-visible to-space object received a store: the
+			// object is live, so make sure it is traced, and handle a
+			// from-space value per the mutability rule (the direct store
+			// covers the case where the object was already scanned).
+			c.queueGray(e.Obj)
+			if e.Byte {
+				continue
+			}
+			v := h.Load(e.Obj, int(e.Slot))
+			switch {
+			case h.OldFrom().Contains(v):
+				nv := c.toSpaceValue(m, v, e.Obj, int(e.Slot))
+				if nv != v {
+					h.Store(e.Obj, int(e.Slot), nv)
+				}
+			case h.OldTo().Contains(v):
+				c.queueGray(v)
+			}
+		}
+	}
+
+	if c.overBudget(force) {
+		return false
+	}
+
+	// 2. Trace the gray worklist.
+	if !c.scanGray(m, force) {
+		return false
+	}
+
+	// 3. Queue and log are drained: attempt completion. Scan the mutator
+	// roots (the nursery is empty right after a minor flip, so roots
+	// reference only the old generation or immediates); from-space
+	// referents are replicated — the roots themselves are only redirected
+	// at the flip — and to-space referents are queued for tracing. As with
+	// the minor collection, roots are scanned once per completion attempt
+	// rather than once per increment.
+	if !postFlip {
+		return false
+	}
+	aborted := false
+	n := m.Roots.Visit(func(slot *heap.Value) {
+		if aborted {
+			return
+		}
+		v := *slot
+		switch {
+		case h.OldFrom().Contains(v):
+			c.replicateMajor(m, v)
+			if c.overBudget(force) {
+				aborted = true
+			}
+		case h.OldTo().Contains(v):
+			c.queueGray(v)
+		}
+	})
+	c.chargeRoots(m, n)
+	if aborted {
+		return false
+	}
+	// The roots may have enqueued fresh work; finish tracing it.
+	if !c.scanGray(m, force) {
+		return false
+	}
+
+	// Deferred mutable copies (§2.5) happen now: copy, trace their
+	// contents, and repeat until no pending copies remain — each round can
+	// expose further deferred references.
+	if c.cfg.DeferMutableCopies {
+		for {
+			if !c.drainDeferredMajorMutables(m, force) {
+				return false
+			}
+			if len(c.grayQ) == 0 && c.grayCur == heap.Nil {
+				break
+			}
+			if !c.scanGray(m, force) {
+				return false
+			}
+		}
+	}
+
+	if c.majorLogCursor != m.Log.Len() || len(c.grayQ) > 0 || c.grayCur != heap.Nil {
+		return false
+	}
+	c.majorFlip(m)
+	return true
+}
+
+// majorFlip atomically redirects everything that still references the old
+// from-space — queued mutable-reference fixups and the mutator roots — then
+// swaps the semispaces and discards the from-space.
+func (c *Replicating) majorFlip(m *Mutator) {
+	h := c.h
+	if h.Nursery.UsedWords() != 0 {
+		panic("core: major flip with non-empty nursery")
+	}
+
+	// Re-point recorded to-space slots that still hold mutable from-space
+	// references.
+	for _, f := range c.fixups {
+		v := h.Load(f.obj, int(f.slot))
+		if !h.OldFrom().Contains(v) {
+			continue // overwritten since; later entries handled it
+		}
+		if !h.IsForwarded(v) {
+			c.replicateMajor(m, v)
+		}
+		h.Store(f.obj, int(f.slot), h.ForwardAddr(v))
+		c.stats.FlipEntryUpdates++
+		m.Clock.Charge(simtime.AcctFlip, m.Cost.FlipEntry)
+	}
+	c.fixups = c.fixups[:0]
+	c.fixupSeen = nil
+
+	n := m.Roots.Visit(func(slot *heap.Value) {
+		v := *slot
+		if h.OldFrom().Contains(v) {
+			if !h.IsForwarded(v) {
+				panic("core: unreplicated root at major flip")
+			}
+			*slot = h.ForwardAddr(v)
+		}
+	})
+	c.stats.RootSlotUpdates += int64(n)
+	m.Clock.Charge(simtime.AcctFlip, simtime.Duration(n)*m.Cost.RootUpdate)
+
+	h.SwapOld()
+	c.scan = h.OldFrom().Next
+	c.scanSlot = 0
+	c.skips = c.skips[:0]
+	c.minorSkipIdx = 0
+	c.grayQ = nil
+	c.graySeen = nil
+	c.grayCur = heap.Nil
+	c.graySlot = 0
+	c.majorActive = false
+	c.promotedSinceMajor = 0
+	c.stats.MajorCollections++
+
+	// Both cursors are at the log's end; everything can go.
+	c.majorLogCursor = m.Log.Len()
+	c.minorLogCursor = m.Log.Len()
+	m.Log.TrimTo(m.Log.Len())
+}

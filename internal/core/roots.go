@@ -1,0 +1,54 @@
+package core
+
+import "repligc/internal/heap"
+
+// RootVisitor is applied to every root slot; it may overwrite the slot
+// (that is how flips redirect the mutator onto the replicas).
+type RootVisitor func(slot *heap.Value)
+
+// RootSource is anything holding heap pointers the collector must treat as
+// roots: VM registers and operand stacks, global tables, and the handle
+// stack used by Go code that manipulates heap values.
+type RootSource interface {
+	VisitRoots(v RootVisitor)
+}
+
+// RootSet aggregates all registered root sources.
+type RootSet struct {
+	sources []RootSource
+}
+
+// Register adds a root source.
+func (r *RootSet) Register(s RootSource) { r.sources = append(r.sources, s) }
+
+// Visit applies v to every root slot and returns the number of slots
+// visited (the unit in which root-scan and flip costs are charged).
+func (r *RootSet) Visit(v RootVisitor) int {
+	n := 0
+	counting := func(slot *heap.Value) {
+		n++
+		v(slot)
+	}
+	for _, s := range r.sources {
+		s.VisitRoots(counting)
+	}
+	return n
+}
+
+// Handle is a stable reference to a heap value for Go code. Go locals
+// holding heap.Values directly go stale at a flip (the collector cannot see
+// the Go stack), so any value held across a potential collection point must
+// live in the mutator's handle stack instead — the classic shadow-stack
+// discipline. A Handle indexes that stack.
+type Handle int
+
+// handleStack is the mutator's shadow stack; it is a RootSource.
+type handleStack struct {
+	slots []heap.Value
+}
+
+func (hs *handleStack) VisitRoots(v RootVisitor) {
+	for i := range hs.slots {
+		v(&hs.slots[i])
+	}
+}

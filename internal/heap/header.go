@@ -1,0 +1,90 @@
+package heap
+
+import "fmt"
+
+// Kind classifies heap objects. Mutability is a property of the kind: the
+// replication collector only ever needs log entries for mutable kinds, and
+// the immutable-first copy-order optimisation (paper §2.5) keys off it.
+type Kind uint8
+
+// Object kinds.
+const (
+	KindRecord  Kind = iota // immutable record of Values
+	KindClosure             // immutable closure: code index + free variables
+	KindString              // immutable byte vector (length in bytes)
+	KindRef                 // mutable cell(s) of Values (ML ref / tuple of refs)
+	KindArray               // mutable array of Values
+	KindBytes               // mutable byte array (length in bytes)
+	numKinds
+)
+
+var kindNames = [numKinds]string{"record", "closure", "string", "ref", "array", "bytes"}
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Mutable reports whether objects of this kind can be mutated after
+// initialisation.
+func (k Kind) Mutable() bool { return k == KindRef || k == KindArray || k == KindBytes }
+
+// HasPointers reports whether the payload words of this kind can contain
+// heap pointers and therefore must be scanned.
+func (k Kind) HasPointers() bool { return k != KindString && k != KindBytes }
+
+// Header is an object descriptor word. Like SML/NJ descriptors it always has
+// bit 0 set, so that an even word in the header slot is unambiguously a
+// forwarding pointer (a word-aligned Value). Layout:
+//
+//	bits 0    : 1 (descriptor tag)
+//	bits 1..7 : Kind
+//	bits 8..  : length (payload words, or payload bytes for byte kinds)
+type Header uint64
+
+// MakeHeader builds a descriptor for an object of kind k whose length field
+// is n (words for word kinds, bytes for KindString/KindBytes).
+func MakeHeader(k Kind, n int) Header {
+	if n < 0 {
+		panic("heap: negative object length")
+	}
+	return Header(uint64(n)<<8 | uint64(k)<<1 | 1)
+}
+
+// IsHeader reports whether the raw word w holds a descriptor (as opposed to
+// a forwarding pointer).
+func IsHeader(w Value) bool { return w&1 == 1 }
+
+// Kind extracts the object kind.
+func (h Header) Kind() Kind { return Kind(h >> 1 & 0x7f) }
+
+// Len extracts the length field: the number of payload words, or of payload
+// bytes for byte kinds.
+func (h Header) Len() int { return int(h >> 8) }
+
+// PayloadWords reports the number of payload words the object occupies.
+func (h Header) PayloadWords() int {
+	if h.Kind() == KindString || h.Kind() == KindBytes {
+		return (h.Len() + BytesPerWord - 1) / BytesPerWord
+	}
+	return h.Len()
+}
+
+// SizeWords reports the total footprint in words, including the header.
+func (h Header) SizeWords() int { return h.PayloadWords() + 1 }
+
+// SizeBytes reports the total footprint in bytes, including the header.
+// This is the unit in which the paper's N, O, L and A parameters, copy
+// budgets and latent-garbage measurements are expressed.
+func (h Header) SizeBytes() int64 { return int64(h.SizeWords()) * BytesPerWord }
+
+// String renders the header for debugging.
+func (h Header) String() string {
+	return fmt.Sprintf("%s[%d]", h.Kind(), h.Len())
+}
+
+// BytesPerWord is the accounting size of one heap word.
+const BytesPerWord = 8

@@ -1,0 +1,241 @@
+package heap
+
+import "fmt"
+
+// Config sizes a Heap. All quantities are bytes. The defaults mirror the
+// paper's experimental ranges: nurseries of 0.2–1 MB (parameter N) that can
+// be expanded while an incremental collection is pending, and old-generation
+// semispaces large enough to hold all live data plus promotion headroom.
+type Config struct {
+	NurseryBytes    int64 // initial nursery size (the paper's N)
+	NurseryCapBytes int64 // hard bound on nursery expansion
+	OldSemiBytes    int64 // size of each old-generation semispace
+}
+
+// DefaultConfig returns a configuration with a 1 MB nursery expandable to
+// 8 MB and 64 MB old semispaces.
+func DefaultConfig() Config {
+	return Config{
+		NurseryBytes:    1 << 20,
+		NurseryCapBytes: 8 << 20,
+		OldSemiBytes:    64 << 20,
+	}
+}
+
+// Heap is the simulated two-generation heap: a nursery plus two old
+// semispaces over a single flat word arena.
+type Heap struct {
+	Arena []Value
+
+	Nursery Space
+	oldA    Space
+	oldB    Space
+	oldFrom *Space // current old space (minor collections promote here)
+	oldTo   *Space // reserve semispace (major collections copy here)
+}
+
+// New builds a heap from cfg.
+func New(cfg Config) *Heap {
+	if cfg.NurseryBytes <= 0 || cfg.OldSemiBytes <= 0 {
+		panic("heap: non-positive space size")
+	}
+	if cfg.NurseryCapBytes < cfg.NurseryBytes {
+		cfg.NurseryCapBytes = cfg.NurseryBytes
+	}
+	nCap := uint64(cfg.NurseryCapBytes) / BytesPerWord
+	oCap := uint64(cfg.OldSemiBytes) / BytesPerWord
+
+	// Word 0 is reserved so that Value(0) is never a valid object pointer.
+	lo := uint64(1)
+	h := &Heap{Arena: make([]Value, lo+nCap+2*oCap)}
+	h.Nursery = Space{Name: "nursery", Lo: lo, Cap: lo + nCap}
+	h.oldA = Space{Name: "oldA", Lo: lo + nCap, Cap: lo + nCap + oCap}
+	h.oldB = Space{Name: "oldB", Lo: lo + nCap + oCap, Cap: lo + nCap + 2*oCap}
+	h.Nursery.Reset()
+	h.oldA.Reset()
+	h.oldB.Reset()
+	h.Nursery.Hi = h.Nursery.Lo
+	h.Nursery.SetLimitBytes(cfg.NurseryBytes)
+	h.oldA.Hi = h.oldA.Cap
+	h.oldB.Hi = h.oldB.Cap
+	h.oldFrom = &h.oldA
+	h.oldTo = &h.oldB
+	return h
+}
+
+// OldFrom returns the current old space.
+func (h *Heap) OldFrom() *Space { return h.oldFrom }
+
+// OldTo returns the reserve old semispace.
+func (h *Heap) OldTo() *Space { return h.oldTo }
+
+// SwapOld exchanges the roles of the old semispaces (a major flip) and
+// empties the discarded from-space.
+func (h *Heap) SwapOld() {
+	h.oldFrom, h.oldTo = h.oldTo, h.oldFrom
+	h.oldTo.Reset()
+}
+
+// AllocIn allocates an object of kind k with length field n in space s,
+// writing the header and zeroing the payload. It returns the object pointer
+// and true, or Nil and false when the space lacks room below its soft limit.
+func (h *Heap) AllocIn(s *Space, k Kind, n int) (Value, bool) {
+	hdr := MakeHeader(k, n)
+	need := uint64(hdr.SizeWords())
+	if s.Next+need > s.Hi {
+		return Nil, false
+	}
+	hi := s.Next
+	s.Next += need
+	h.Arena[hi] = Value(hdr)
+	p := ptrFromIndex(hi + 1)
+	for i := uint64(1); i < need; i++ {
+		h.Arena[hi+i] = Nil
+	}
+	return p, true
+}
+
+// RawHeader returns the raw word in p's header slot, which is either a
+// descriptor or a forwarding pointer.
+func (h *Heap) RawHeader(p Value) Value { return h.Arena[p.index()-1] }
+
+// IsForwarded reports whether p's header slot holds a forwarding pointer.
+func (h *Heap) IsForwarded(p Value) bool { return !IsHeader(h.RawHeader(p)) }
+
+// ForwardAddr returns the replica address stored in p's header slot. It is
+// only meaningful when IsForwarded(p).
+func (h *Heap) ForwardAddr(p Value) Value { return h.RawHeader(p) }
+
+// SetForward overwrites p's header word with a forwarding pointer to dst,
+// the non-destructive copy trick of paper §3.2: the payload stays intact so
+// the mutator can keep using the original.
+func (h *Heap) SetForward(p, dst Value) {
+	if !dst.IsPtr() {
+		panic("heap: forwarding to non-pointer")
+	}
+	h.Arena[p.index()-1] = dst
+}
+
+// HeaderOf returns p's descriptor, following forwarding chains (at most two
+// hops: nursery→old-from→old-to). This is the mutator's getheader operation
+// (paper fig. 4); callers charge the forwarding-check cost.
+func (h *Heap) HeaderOf(p Value) Header {
+	w := h.RawHeader(p)
+	for !IsHeader(w) {
+		w = h.RawHeader(w)
+	}
+	return Header(w)
+}
+
+// ResolveForward follows forwarding pointers from p to the newest replica.
+func (h *Heap) ResolveForward(p Value) Value {
+	for p.IsPtr() && h.IsForwarded(p) {
+		p = h.ForwardAddr(p)
+	}
+	return p
+}
+
+// Load reads payload word i of object p. No forwarding check: under the
+// from-space invariant the mutator always reads the original object.
+func (h *Heap) Load(p Value, i int) Value { return h.Arena[p.index()+uint64(i)] }
+
+// Store writes payload word i of object p. The write barrier lives above
+// this in the mutator; Store itself is raw.
+func (h *Heap) Store(p Value, i int, v Value) { h.Arena[p.index()+uint64(i)] = v }
+
+// LoadByte reads byte i of a byte-kind object (little-endian packing).
+func (h *Heap) LoadByte(p Value, i int) byte {
+	w := h.Arena[p.index()+uint64(i/BytesPerWord)]
+	return byte(w >> (uint(i%BytesPerWord) * 8))
+}
+
+// StoreByte writes byte i of a byte-kind object.
+func (h *Heap) StoreByte(p Value, i int, b byte) {
+	idx := p.index() + uint64(i/BytesPerWord)
+	sh := uint(i%BytesPerWord) * 8
+	w := uint64(h.Arena[idx])
+	w = w&^(uint64(0xff)<<sh) | uint64(b)<<sh
+	h.Arena[idx] = Value(w)
+}
+
+// Bytes copies the payload of a byte-kind object into a fresh Go slice.
+func (h *Heap) Bytes(p Value) []byte {
+	hdr := h.HeaderOf(p)
+	n := hdr.Len()
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = h.LoadByte(p, i)
+	}
+	return out
+}
+
+// SetBytes writes b into the payload of a byte-kind object starting at 0.
+func (h *Heap) SetBytes(p Value, b []byte) {
+	for i, c := range b {
+		h.StoreByte(p, i, c)
+	}
+}
+
+// CopyObject copies the object at src (whose descriptor must still be
+// intact) into space dst, returning the replica pointer. The original is
+// left untouched — installing the forwarding pointer is the caller's
+// decision, which is what makes the copy non-destructive.
+func (h *Heap) CopyObject(src Value, dst *Space) (Value, bool) {
+	hdr := Header(h.RawHeader(src))
+	if !IsHeader(Value(hdr)) {
+		panic("heap: CopyObject on forwarded object")
+	}
+	need := uint64(hdr.SizeWords())
+	if dst.Next+need > dst.Hi {
+		return Nil, false
+	}
+	di := dst.Next
+	dst.Next += need
+	si := src.index() - 1
+	copy(h.Arena[di:di+need], h.Arena[si:si+need])
+	return ptrFromIndex(di + 1), true
+}
+
+// WalkObjects visits the objects of s in address order, calling f with each
+// object pointer and descriptor. Walking a space containing forwarded
+// objects is not possible (their sizes are gone with their headers), so this
+// is only valid for to-spaces and for quiescent heaps; it exists for
+// invariant checking and tests.
+func (h *Heap) WalkObjects(s *Space, f func(p Value, hdr Header) bool) {
+	idx := s.Lo
+	for idx < s.Next {
+		w := h.Arena[idx]
+		if !IsHeader(w) {
+			panic(fmt.Sprintf("heap: WalkObjects hit forwarding pointer at %#x in %s", idx, s.Name))
+		}
+		hdr := Header(w)
+		if !f(ptrFromIndex(idx+1), hdr) {
+			return
+		}
+		idx += uint64(hdr.SizeWords())
+	}
+}
+
+// CensusEntry summarises the live objects of one kind in a space.
+type CensusEntry struct {
+	Count int64
+	Bytes int64
+}
+
+// Census walks the allocated objects of the given spaces and tallies them
+// by kind. It is only valid when no objects in those spaces carry
+// forwarding pointers (i.e. at collector-quiescent points); it exists for
+// tools and tests, not for the collectors themselves.
+func (h *Heap) Census(spaces ...*Space) map[Kind]CensusEntry {
+	out := make(map[Kind]CensusEntry)
+	for _, s := range spaces {
+		h.WalkObjects(s, func(p Value, hdr Header) bool {
+			e := out[hdr.Kind()]
+			e.Count++
+			e.Bytes += hdr.SizeBytes()
+			out[hdr.Kind()] = e
+			return true
+		})
+	}
+	return out
+}

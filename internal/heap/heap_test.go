@@ -1,0 +1,368 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testHeap() *Heap {
+	return New(Config{NurseryBytes: 1 << 16, NurseryCapBytes: 1 << 18, OldSemiBytes: 1 << 20})
+}
+
+func TestValueTagging(t *testing.T) {
+	f := func(i int32) bool {
+		v := FromInt(int64(i))
+		return v.IsInt() && !v.IsPtr() && v.Int() == int64(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Nil.IsPtr() || Nil.IsInt() {
+		t.Fatal("Nil must be neither pointer nor int")
+	}
+	if !FromBool(true).Bool() || FromBool(false).Bool() {
+		t.Fatal("bool round trip failed")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(rawKind uint8, rawLen uint16) bool {
+		k := Kind(rawKind % uint8(numKinds))
+		n := int(rawLen)
+		h := MakeHeader(k, n)
+		return IsHeader(Value(h)) && h.Kind() == k && h.Len() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderSizes(t *testing.T) {
+	if got := MakeHeader(KindRecord, 3).SizeWords(); got != 4 {
+		t.Fatalf("record[3] size = %d words, want 4", got)
+	}
+	if got := MakeHeader(KindBytes, 9).PayloadWords(); got != 2 {
+		t.Fatalf("bytes[9] payload = %d words, want 2", got)
+	}
+	if got := MakeHeader(KindString, 0).SizeWords(); got != 1 {
+		t.Fatalf("string[0] size = %d words, want 1", got)
+	}
+	if got := MakeHeader(KindRecord, 2).SizeBytes(); got != 24 {
+		t.Fatalf("record[2] bytes = %d, want 24", got)
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	for _, k := range []Kind{KindRef, KindArray, KindBytes} {
+		if !k.Mutable() {
+			t.Errorf("%v should be mutable", k)
+		}
+	}
+	for _, k := range []Kind{KindRecord, KindClosure, KindString} {
+		if k.Mutable() {
+			t.Errorf("%v should be immutable", k)
+		}
+	}
+	if KindBytes.HasPointers() || KindString.HasPointers() {
+		t.Error("byte kinds must not be scanned for pointers")
+	}
+	if !KindRecord.HasPointers() || !KindRef.HasPointers() {
+		t.Error("word kinds must be scanned for pointers")
+	}
+}
+
+func TestAllocAndAccess(t *testing.T) {
+	h := testHeap()
+	p, ok := h.AllocIn(&h.Nursery, KindRecord, 3)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if !h.Nursery.Contains(p) {
+		t.Fatal("allocated object not in nursery")
+	}
+	hdr := h.HeaderOf(p)
+	if hdr.Kind() != KindRecord || hdr.Len() != 3 {
+		t.Fatalf("header = %v", hdr)
+	}
+	for i := 0; i < 3; i++ {
+		if h.Load(p, i) != Nil {
+			t.Fatalf("slot %d not zeroed", i)
+		}
+	}
+	h.Store(p, 1, FromInt(42))
+	if got := h.Load(p, 1); got.Int() != 42 {
+		t.Fatalf("load = %v", got)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	h := testHeap()
+	n := 0
+	for {
+		if _, ok := h.AllocIn(&h.Nursery, KindRecord, 7); !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no allocations succeeded")
+	}
+	want := int(h.Nursery.LimitBytes() / (8 * BytesPerWord))
+	if n != want {
+		t.Fatalf("allocated %d objects, want %d", n, want)
+	}
+}
+
+func TestByteAccess(t *testing.T) {
+	h := testHeap()
+	p, _ := h.AllocIn(&h.Nursery, KindBytes, 13)
+	data := []byte("hello, world!")
+	h.SetBytes(p, data)
+	if got := string(h.Bytes(p)); got != "hello, world!" {
+		t.Fatalf("bytes = %q", got)
+	}
+	h.StoreByte(p, 0, 'H')
+	if h.LoadByte(p, 0) != 'H' {
+		t.Fatal("StoreByte/LoadByte failed")
+	}
+	// Bytes must not disturb neighbours.
+	if got := string(h.Bytes(p)); got != "Hello, world!" {
+		t.Fatalf("bytes after poke = %q", got)
+	}
+}
+
+func TestByteAccessProperty(t *testing.T) {
+	h := testHeap()
+	f := func(data []byte) bool {
+		if len(data) > 200 {
+			data = data[:200]
+		}
+		p, ok := h.AllocIn(&h.Nursery, KindBytes, len(data))
+		if !ok {
+			h.Nursery.Reset()
+			p, _ = h.AllocIn(&h.Nursery, KindBytes, len(data))
+		}
+		for i, b := range data {
+			h.StoreByte(p, i, b)
+		}
+		for i, b := range data {
+			if h.LoadByte(p, i) != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwarding(t *testing.T) {
+	h := testHeap()
+	p, _ := h.AllocIn(&h.Nursery, KindRecord, 2)
+	h.Store(p, 0, FromInt(7))
+	h.Store(p, 1, FromInt(8))
+
+	replica, ok := h.CopyObject(p, h.OldFrom())
+	if !ok {
+		t.Fatal("copy failed")
+	}
+	if h.Load(replica, 0).Int() != 7 || h.Load(replica, 1).Int() != 8 {
+		t.Fatal("replica contents differ")
+	}
+	if h.IsForwarded(p) {
+		t.Fatal("copy must not forward by itself")
+	}
+
+	h.SetForward(p, replica)
+	if !h.IsForwarded(p) {
+		t.Fatal("not forwarded after SetForward")
+	}
+	if h.ForwardAddr(p) != replica {
+		t.Fatal("forward address wrong")
+	}
+	// The original payload must remain readable: the from-space invariant
+	// depends on non-destructive copying.
+	if h.Load(p, 0).Int() != 7 {
+		t.Fatal("original payload destroyed by forwarding")
+	}
+	// getheader follows the forwarding word.
+	if hdr := h.HeaderOf(p); hdr.Kind() != KindRecord || hdr.Len() != 2 {
+		t.Fatalf("HeaderOf(forwarded) = %v", hdr)
+	}
+	if h.ResolveForward(p) != replica {
+		t.Fatal("ResolveForward failed")
+	}
+}
+
+func TestForwardingChain(t *testing.T) {
+	h := testHeap()
+	p, _ := h.AllocIn(&h.Nursery, KindRef, 1)
+	r1, _ := h.CopyObject(p, h.OldFrom())
+	h.SetForward(p, r1)
+	r2, _ := h.CopyObject(r1, h.OldTo())
+	h.SetForward(r1, r2)
+	if h.ResolveForward(p) != r2 {
+		t.Fatal("two-hop resolve failed")
+	}
+	if hdr := h.HeaderOf(p); hdr.Kind() != KindRef {
+		t.Fatalf("two-hop header = %v", hdr)
+	}
+}
+
+func TestCopyObjectPanicsOnForwarded(t *testing.T) {
+	h := testHeap()
+	p, _ := h.AllocIn(&h.Nursery, KindRef, 1)
+	r, _ := h.CopyObject(p, h.OldFrom())
+	h.SetForward(p, r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.CopyObject(p, h.OldFrom())
+}
+
+func TestSwapOld(t *testing.T) {
+	h := testHeap()
+	from, to := h.OldFrom(), h.OldTo()
+	_, _ = h.AllocIn(to, KindRecord, 1)
+	h.SwapOld()
+	if h.OldFrom() != to || h.OldTo() != from {
+		t.Fatal("swap did not exchange spaces")
+	}
+	if h.OldTo().UsedWords() != 0 {
+		t.Fatal("discarded space not reset")
+	}
+	if h.OldFrom().UsedWords() == 0 {
+		t.Fatal("survivor space lost its contents")
+	}
+}
+
+func TestNurseryGrow(t *testing.T) {
+	h := testHeap()
+	limit := h.Nursery.LimitBytes()
+	granted := h.Nursery.GrowBytes(1 << 14)
+	if granted != 1<<14 {
+		t.Fatalf("granted = %d", granted)
+	}
+	if h.Nursery.LimitBytes() != limit+1<<14 {
+		t.Fatal("limit did not grow")
+	}
+	// Growth clamps at the hard cap.
+	h.Nursery.GrowBytes(1 << 30)
+	if h.Nursery.Hi != h.Nursery.Cap {
+		t.Fatal("growth exceeded cap")
+	}
+}
+
+func TestWalkObjects(t *testing.T) {
+	h := testHeap()
+	var want []Value
+	for i := 0; i < 10; i++ {
+		p, _ := h.AllocIn(&h.Nursery, KindRecord, i)
+		want = append(want, p)
+	}
+	var got []Value
+	h.WalkObjects(&h.Nursery, func(p Value, hdr Header) bool {
+		got = append(got, p)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("walked %d objects, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("object %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpaceMembershipDisjoint(t *testing.T) {
+	h := testHeap()
+	p, _ := h.AllocIn(&h.Nursery, KindRecord, 1)
+	q, _ := h.AllocIn(h.OldFrom(), KindRecord, 1)
+	r, _ := h.AllocIn(h.OldTo(), KindRecord, 1)
+	for _, c := range []struct {
+		v       Value
+		n, a, b bool
+	}{
+		{p, true, false, false},
+		{q, false, true, false},
+		{r, false, false, true},
+	} {
+		if h.Nursery.Contains(c.v) != c.n || h.OldFrom().Contains(c.v) != c.a || h.OldTo().Contains(c.v) != c.b {
+			t.Fatalf("membership wrong for %v", c.v)
+		}
+	}
+	if h.Nursery.Contains(FromInt(123)) {
+		t.Fatal("immediate contained in space")
+	}
+	if h.Nursery.Contains(Nil) {
+		t.Fatal("nil contained in space")
+	}
+}
+
+func TestSpaceLimitEdges(t *testing.T) {
+	h := testHeap()
+	s := &h.Nursery
+	// Limit below current allocation clamps to Next.
+	p, _ := h.AllocIn(s, KindRecord, 100)
+	_ = p
+	s.SetLimitBytes(0)
+	if s.Hi < s.Next {
+		t.Fatal("limit dropped below allocation cursor")
+	}
+	// Limit beyond cap clamps to cap.
+	got := s.SetLimitBytes(1 << 40)
+	if got != int64(s.Cap-s.Lo)*BytesPerWord {
+		t.Fatalf("over-cap limit reports %d", got)
+	}
+	if s.FreeWords() != s.Hi-s.Next {
+		t.Fatal("FreeWords inconsistent")
+	}
+}
+
+func TestHeaderMaxLength(t *testing.T) {
+	// Large length fields survive the header round trip (code buffers and
+	// big arrays rely on this).
+	h := MakeHeader(KindBytes, 1<<20)
+	if h.Len() != 1<<20 || h.PayloadWords() != 1<<17 {
+		t.Fatalf("big header: len=%d payload=%d", h.Len(), h.PayloadWords())
+	}
+	if !IsHeader(Value(h)) {
+		t.Fatal("big header lost its descriptor tag")
+	}
+}
+
+func TestNewHeapValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-sized space")
+		}
+	}()
+	New(Config{NurseryBytes: 0, OldSemiBytes: 1 << 20})
+}
+
+func TestDefaultConfigUsable(t *testing.T) {
+	h := New(DefaultConfig())
+	if _, ok := h.AllocIn(&h.Nursery, KindRecord, 4); !ok {
+		t.Fatal("default heap cannot allocate")
+	}
+}
+
+func TestCensus(t *testing.T) {
+	h := testHeap()
+	for i := 0; i < 5; i++ {
+		h.AllocIn(&h.Nursery, KindRecord, 3)
+	}
+	h.AllocIn(&h.Nursery, KindBytes, 10)
+	h.AllocIn(h.OldFrom(), KindRef, 1)
+	c := h.Census(&h.Nursery, h.OldFrom())
+	if c[KindRecord].Count != 5 || c[KindRecord].Bytes != 5*4*BytesPerWord {
+		t.Fatalf("records: %+v", c[KindRecord])
+	}
+	if c[KindBytes].Count != 1 || c[KindRef].Count != 1 {
+		t.Fatalf("census: %+v", c)
+	}
+}

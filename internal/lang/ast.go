@@ -1,0 +1,267 @@
+package lang
+
+import (
+	"fmt"
+
+	"repligc/internal/core"
+	"repligc/internal/heap"
+)
+
+// The abstract syntax tree lives on the simulated heap: each node is a
+// record whose slot 0 is the tag, slot 1 the packed source position, and
+// the remaining slots the children (subtrees, heap lists of subtrees, or
+// immediate integers such as symbol ids and literals). Go code touches
+// nodes only through core.Handle values, never holding raw heap.Values
+// across an allocation — a flip would invalidate them.
+
+// Tag identifies the node's form.
+type Tag int64
+
+// Expression node tags.
+const (
+	TagInt     Tag = iota + 1 // [value]
+	TagStr                    // [literal pool index]
+	TagBool                   // [0/1]
+	TagUnit                   // []
+	TagVar                    // [symbol]
+	TagFn                     // [param symbol, body]
+	TagApp                    // [fn, arg]
+	TagBin                    // [binop, left, right]
+	TagNot                    // [expr]
+	TagNeg                    // [expr]
+	TagIf                     // [cond, then, else]
+	TagLet                    // [symbol, rhs, body]
+	TagFun                    // [list of TagFunDef, body]
+	TagFunDef                 // [name symbol, param symbol, body]
+	TagCase                   // [scrutinee, list of TagAlt]
+	TagAlt                    // [pattern, body]
+	TagTuple                  // [list of exprs]
+	TagProj                   // [index, expr]
+	TagList                   // [list of exprs]
+	TagRef                    // [expr]
+	TagDeref                  // [expr]
+	TagAssign                 // [lhs, rhs]
+	TagAndalso                // [left, right]
+	TagOrelse                 // [left, right]
+	TagSeq                    // [list of exprs]
+
+	// Pattern node tags.
+	TagPWild  // []
+	TagPVar   // [symbol]
+	TagPInt   // [value]
+	TagPBool  // [0/1]
+	TagPUnit  // []
+	TagPNil   // []
+	TagPCons  // [head pat, tail pat]
+	TagPTuple // [list of pats]
+)
+
+func packPos(p Pos) int64   { return int64(p.Line)<<12 | int64(p.Col)&0xfff }
+func unpackPos(v int64) Pos { return Pos{Line: int(v >> 12), Col: int(v & 0xfff)} }
+
+// kidArg is either a handle to a subtree or an immediate value.
+type kidArg struct {
+	h   core.Handle
+	imm heap.Value
+	raw bool
+}
+
+func sub(h core.Handle) kidArg { return kidArg{h: h} }
+func imm(v int64) kidArg       { return kidArg{imm: heap.FromInt(v), raw: true} }
+
+// newNode allocates an AST node. Children referenced by handle are read
+// only after the allocation, so a collection triggered by Alloc cannot
+// invalidate them.
+func newNode(m *core.Mutator, tag Tag, pos Pos, kids ...kidArg) core.Handle {
+	p := m.Alloc(heap.KindRecord, 2+len(kids))
+	m.Init(p, 0, heap.FromInt(int64(tag)))
+	m.Init(p, 1, heap.FromInt(packPos(pos)))
+	for i, k := range kids {
+		if k.raw {
+			m.Init(p, 2+i, k.imm)
+		} else {
+			m.Init(p, 2+i, m.HandleVal(k.h))
+		}
+	}
+	m.Step(2 + len(kids))
+	return m.PushHandle(p)
+}
+
+// nodeTag reads a node's tag.
+func nodeTag(m *core.Mutator, h core.Handle) Tag {
+	return Tag(m.Get(m.HandleVal(h), 0).Int())
+}
+
+// nodePos reads a node's source position.
+func nodePos(m *core.Mutator, h core.Handle) Pos {
+	return unpackPos(m.Get(m.HandleVal(h), 1).Int())
+}
+
+// kidImm reads child i as an immediate integer.
+func kidImm(m *core.Mutator, h core.Handle, i int) int64 {
+	return m.Get(m.HandleVal(h), 2+i).Int()
+}
+
+// kidHandle pins child i and returns its handle.
+func kidHandle(m *core.Mutator, h core.Handle, i int) core.Handle {
+	return m.PushHandle(m.Get(m.HandleVal(h), 2+i))
+}
+
+// Heap lists: nil is the immediate 0; cons cells are two-slot records.
+
+// listNil returns a handle to the empty list.
+func listNil(m *core.Mutator) core.Handle { return m.PushHandle(heap.FromInt(0)) }
+
+// listCons allocates a cons cell (head, tail given as handles).
+func listCons(m *core.Mutator, head, tail core.Handle) core.Handle {
+	p := m.Alloc(heap.KindRecord, 2)
+	m.Init(p, 0, m.HandleVal(head))
+	m.Init(p, 1, m.HandleVal(tail))
+	m.Step(2)
+	return m.PushHandle(p)
+}
+
+// listFromHandles builds a heap list of the given elements, left to right.
+func listFromHandles(m *core.Mutator, elems []core.Handle) core.Handle {
+	acc := listNil(m)
+	for i := len(elems) - 1; i >= 0; i-- {
+		acc = listCons(m, elems[i], acc)
+	}
+	return acc
+}
+
+// listLen measures a heap list.
+func listLen(m *core.Mutator, h core.Handle) int {
+	v := m.HandleVal(h)
+	n := 0
+	for v.IsPtr() {
+		n++
+		v = m.Get(v, 1)
+	}
+	return n
+}
+
+// listIter calls f with a handle to each element in order. The element
+// handle (and anything f pushed) is released after each call; f must
+// collapse anything it wants to keep below iterMark.
+func listIter(m *core.Mutator, h core.Handle, f func(elem core.Handle) error) error {
+	cur := m.PushHandle(m.HandleVal(h))
+	defer m.PopHandles(cur)
+	for m.HandleVal(cur).IsPtr() {
+		mark := m.HandleMark()
+		elem := m.PushHandle(m.Get(m.HandleVal(cur), 0))
+		if err := f(elem); err != nil {
+			return err
+		}
+		next := m.Get(m.HandleVal(cur), 1)
+		m.PopHandles(mark)
+		m.SetHandleVal(cur, next)
+	}
+	return nil
+}
+
+// DumpNode renders a subtree for debugging and tests.
+func DumpNode(m *core.Mutator, h core.Handle, syms *SymTab) string {
+	mark := m.HandleMark()
+	defer m.PopHandles(mark)
+	return dump(m, h, syms)
+}
+
+func dump(m *core.Mutator, h core.Handle, syms *SymTab) string {
+	tag := nodeTag(m, h)
+	name := func(i int) string { return syms.Name(int32(kidImm(m, h, i))) }
+	kid := func(i int) string {
+		k := kidHandle(m, h, i)
+		s := dump(m, k, syms)
+		m.PopHandles(k)
+		return s
+	}
+	kidList := func(i int) string {
+		out := ""
+		l := kidHandle(m, h, i)
+		_ = listIter(m, l, func(e core.Handle) error {
+			if out != "" {
+				out += " "
+			}
+			out += dump(m, e, syms)
+			return nil
+		})
+		m.PopHandles(l)
+		return out
+	}
+	switch tag {
+	case TagInt, TagPInt:
+		return fmt.Sprintf("%d", kidImm(m, h, 0))
+	case TagStr:
+		return fmt.Sprintf("(str %d)", kidImm(m, h, 0))
+	case TagBool, TagPBool:
+		if kidImm(m, h, 0) != 0 {
+			return "true"
+		}
+		return "false"
+	case TagUnit, TagPUnit:
+		return "()"
+	case TagVar:
+		return name(0)
+	case TagFn:
+		return fmt.Sprintf("(fn %s %s)", name(0), kid(1))
+	case TagApp:
+		return fmt.Sprintf("(%s %s)", kid(0), kid(1))
+	case TagBin:
+		return fmt.Sprintf("(%s %s %s)", binOpName(kidImm(m, h, 0)), kid(1), kid(2))
+	case TagNot:
+		return fmt.Sprintf("(not %s)", kid(0))
+	case TagNeg:
+		return fmt.Sprintf("(~ %s)", kid(0))
+	case TagIf:
+		return fmt.Sprintf("(if %s %s %s)", kid(0), kid(1), kid(2))
+	case TagLet:
+		return fmt.Sprintf("(let %s %s %s)", name(0), kid(1), kid(2))
+	case TagFun:
+		return fmt.Sprintf("(fun [%s] %s)", kidList(0), kid(1))
+	case TagFunDef:
+		return fmt.Sprintf("(%s %s %s)", name(0), name(1), kid(2))
+	case TagCase:
+		return fmt.Sprintf("(case %s [%s])", kid(0), kidList(1))
+	case TagAlt:
+		return fmt.Sprintf("(%s => %s)", kid(0), kid(1))
+	case TagTuple:
+		return fmt.Sprintf("(tuple %s)", kidList(0))
+	case TagProj:
+		return fmt.Sprintf("(#%d %s)", kidImm(m, h, 0), kid(1))
+	case TagList:
+		return fmt.Sprintf("(list %s)", kidList(0))
+	case TagRef:
+		return fmt.Sprintf("(ref %s)", kid(0))
+	case TagDeref:
+		return fmt.Sprintf("(! %s)", kid(0))
+	case TagAssign:
+		return fmt.Sprintf("(:= %s %s)", kid(0), kid(1))
+	case TagAndalso:
+		return fmt.Sprintf("(andalso %s %s)", kid(0), kid(1))
+	case TagOrelse:
+		return fmt.Sprintf("(orelse %s %s)", kid(0), kid(1))
+	case TagSeq:
+		return fmt.Sprintf("(seq %s)", kidList(0))
+	case TagPWild:
+		return "_"
+	case TagPVar:
+		return name(0)
+	case TagPNil:
+		return "[]"
+	case TagPCons:
+		return fmt.Sprintf("(:: %s %s)", kid(0), kid(1))
+	case TagPTuple:
+		return fmt.Sprintf("(ptuple %s)", kidList(0))
+	default:
+		return fmt.Sprintf("(tag%d)", tag)
+	}
+}
+
+func binOpName(op int64) string {
+	names := []string{"+", "-", "*", "/", "mod", "<", "<=", ">", ">=", "=", "<>", "::", "^"}
+	if int(op) < len(names) {
+		return names[op]
+	}
+	return "?"
+}

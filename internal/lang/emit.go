@@ -1,0 +1,140 @@
+package lang
+
+import (
+	"repligc/internal/bytecode"
+	"repligc/internal/core"
+	"repligc/internal/heap"
+)
+
+// bufRoots keeps every open code buffer alive for the duration of a
+// compilation, independent of the handle stack's scoped discipline (buffers
+// created while compiling a nested function must survive the enclosing
+// expression's handle cleanup).
+type bufRoots struct {
+	slots []heap.Value
+}
+
+// VisitRoots implements core.RootSource.
+func (r *bufRoots) VisitRoots(v core.RootVisitor) {
+	for i := range r.slots {
+		v(&r.slots[i])
+	}
+}
+
+// blockBuf is an open code buffer for one block being compiled. The buffer
+// is a mutable byte object on the simulated heap; every emitted instruction
+// is written byte by byte through the mutator's (logged) byte-store path,
+// and branch backpatching rewrites earlier bytes — this is the Comp
+// workload's signature mutation pattern (paper §4.5: "Comp contains many
+// mutations to byte data").
+type blockBuf struct {
+	name  string
+	roots *bufRoots
+	idx   int // slot in roots holding the KindBytes object
+	cap   int // capacity in bytes
+	n     int // instructions emitted
+
+	// pending batches encoded instructions before they are stored to the
+	// heap buffer, so sequential emission produces one logged mutation
+	// per flush rather than one per instruction — ordinary emitter
+	// buffering, which also matches a realistic storelist density.
+	pending      []byte
+	pendingStart int // byte offset of pending[0] in the heap buffer
+}
+
+const initialBlockCap = 16 * bytecode.EncodedSize
+
+// flushThreshold bounds the emission buffer (in instructions).
+const flushThreshold = 8 * bytecode.EncodedSize
+
+// newBlockBuf allocates a fresh code buffer rooted in roots.
+func newBlockBuf(m *core.Mutator, roots *bufRoots, name string) *blockBuf {
+	b := &blockBuf{name: name, roots: roots, cap: initialBlockCap}
+	p := m.AllocBytes(b.cap)
+	b.idx = len(roots.slots)
+	roots.slots = append(roots.slots, p)
+	return b
+}
+
+// obj returns the buffer's current heap object.
+func (b *blockBuf) obj() heap.Value { return b.roots.slots[b.idx] }
+
+// flush stores any pending encoded instructions into the heap buffer.
+func (b *blockBuf) flush(m *core.Mutator) {
+	if len(b.pending) == 0 {
+		return
+	}
+	m.SetByteRange(b.obj(), b.pendingStart, b.pending)
+	b.pending = b.pending[:0]
+}
+
+// emit appends one instruction and returns its index.
+func (b *blockBuf) emit(m *core.Mutator, ins bytecode.Instr) int {
+	off := b.n * bytecode.EncodedSize
+	if off+bytecode.EncodedSize > b.cap {
+		b.flush(m)
+		b.grow(m)
+	}
+	if len(b.pending) == 0 {
+		b.pendingStart = off
+	}
+	var enc [bytecode.EncodedSize]byte
+	ins.EncodeInto(enc[:], 0)
+	b.pending = append(b.pending, enc[:]...)
+	if len(b.pending) >= flushThreshold {
+		b.flush(m)
+	}
+	m.Step(3)
+	b.n++
+	return b.n - 1
+}
+
+// grow doubles the buffer, copying through the heap byte paths.
+func (b *blockBuf) grow(m *core.Mutator) {
+	newCap := b.cap * 2
+	np := m.AllocBytes(newCap)
+	// np is freshly allocated; the old buffer is still rooted, so
+	// re-reading it after the allocation is safe.
+	op := b.obj()
+	used := b.n * bytecode.EncodedSize
+	chunk := make([]byte, used)
+	for i := range chunk {
+		chunk[i] = m.GetByte(op, i)
+	}
+	m.SetByteRange(np, 0, chunk)
+	m.Step(used / 4)
+	b.roots.slots[b.idx] = np
+	b.cap = newCap
+}
+
+// patch rewrites the instruction at index idx.
+func (b *blockBuf) patch(m *core.Mutator, idx int, ins bytecode.Instr) {
+	b.flush(m)
+	var enc [bytecode.EncodedSize]byte
+	ins.EncodeInto(enc[:], 0)
+	m.SetByteRange(b.obj(), idx*bytecode.EncodedSize, enc[:])
+	m.Step(3)
+}
+
+// read decodes the instruction at index idx back out of the heap buffer.
+func (b *blockBuf) read(m *core.Mutator, idx int) bytecode.Instr {
+	b.flush(m)
+	off := idx * bytecode.EncodedSize
+	var enc [bytecode.EncodedSize]byte
+	p := b.obj()
+	for i := range enc {
+		enc[i] = m.GetByte(p, off+i)
+	}
+	return bytecode.DecodeInstr(enc[:], 0)
+}
+
+// assemble decodes the finished buffer into a bytecode block.
+func (b *blockBuf) assemble(m *core.Mutator) bytecode.Block {
+	b.flush(m)
+	code := make([]bytecode.Instr, b.n)
+	for i := range code {
+		code[i] = b.read(m, i)
+	}
+	m.Step(b.n)
+	return bytecode.Block{Name: b.name, Code: code}
+}

@@ -1,0 +1,188 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(t *testing.T, src string) []TokKind {
+	t.Helper()
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	out := make([]TokKind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	got := kinds(t, `let x = 42 in x + y`)
+	want := []TokKind{TLet, TIdent, TEq, TInt, TIn, TIdent, TPlus, TIdent, TEOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := LexAll("fun func iff in int andalso andalsoo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TFun, TIdent, TIdent, TIn, TIdent, TAndalso, TIdent, TEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexMultiCharOperators(t *testing.T) {
+	got := kinds(t, `=> = <> <= < >= > :: := ! ~ ^`)
+	want := []TokKind{TArrow, TEq, TNe, TLe, TLt, TGe, TGt, TCons, TAssign, TBang, TTilde, TCaret, TEOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexIntegers(t *testing.T) {
+	toks, err := LexAll("0 7 1234567890")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int64{0, 7, 1234567890} {
+		if toks[i].Kind != TInt || toks[i].Int != want {
+			t.Fatalf("token %d: %+v, want int %d", i, toks[i], want)
+		}
+	}
+	if _, err := LexAll("99999999999999999999999"); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := LexAll(`"hello" "a\nb" "tab\there" "q\"q" "back\\slash"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"hello", "a\nb", "tab\there", `q"q`, `back\slash`}
+	for i, w := range want {
+		if toks[i].Kind != TString || toks[i].Text != w {
+			t.Fatalf("token %d: %q, want %q", i, toks[i].Text, w)
+		}
+	}
+	for _, bad := range []string{`"unterminated`, `"bad \q escape"`, `"trailing \`} {
+		if _, err := LexAll(bad); err == nil {
+			t.Fatalf("no error for %q", bad)
+		}
+	}
+}
+
+func TestLexProjections(t *testing.T) {
+	toks, err := LexAll("#1 #23")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TProj || toks[0].Int != 1 {
+		t.Fatalf("got %+v", toks[0])
+	}
+	if toks[1].Kind != TProj || toks[1].Int != 23 {
+		t.Fatalf("got %+v", toks[1])
+	}
+	for _, bad := range []string{"#", "#x", "#0"} {
+		if _, err := LexAll(bad); err == nil {
+			t.Fatalf("no error for %q", bad)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := LexAll(`1 (* comment *) 2 (* nested (* inner *) outer *) 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // 3 ints + EOF
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	if _, err := LexAll("(* unterminated"); err == nil {
+		t.Fatal("expected unterminated-comment error")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexBadInput(t *testing.T) {
+	for _, bad := range []string{"$", "`", ": ", "@"} {
+		if _, err := LexAll(bad); err == nil {
+			t.Fatalf("no error for %q", bad)
+		}
+	}
+}
+
+// TestLexNeverPanics throws arbitrary bytes at the lexer.
+func TestLexNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = LexAll(string(data)) // errors allowed, panics are not
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLexRoundTripIdentifiers: identifiers separated by spaces survive.
+func TestLexRoundTripIdentifiers(t *testing.T) {
+	f := func(parts []uint8) bool {
+		var names []string
+		for i, p := range parts {
+			if i > 20 {
+				break
+			}
+			names = append(names, string(rune('a'+p%26))+string(rune('a'+(p/26)%26)))
+		}
+		if len(names) == 0 {
+			return true
+		}
+		toks, err := LexAll(strings.Join(names, " "))
+		if err != nil {
+			return false
+		}
+		if len(toks) != len(names)+1 {
+			return false
+		}
+		for i, n := range names {
+			// Keywords lex as keywords; skip those.
+			if _, isKw := keywords[n]; isKw {
+				continue
+			}
+			if toks[i].Kind != TIdent || toks[i].Text != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

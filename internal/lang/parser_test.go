@@ -1,0 +1,192 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repligc/internal/core"
+	"repligc/internal/heap"
+	"repligc/internal/simtime"
+	"repligc/internal/stopcopy"
+)
+
+// testMutator builds a mutator with a small collected heap so parsing and
+// compilation themselves run through collections.
+func testMutator() *core.Mutator {
+	h := heap.New(heap.Config{NurseryBytes: 32 << 10, NurseryCapBytes: 1 << 20, OldSemiBytes: 16 << 20})
+	m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogAllMutations)
+	gc := stopcopy.New(h, stopcopy.Config{NurseryBytes: 32 << 10, MajorThresholdBytes: 256 << 10})
+	m.AttachGC(gc)
+	return m
+}
+
+// parseDump parses src and renders the AST.
+func parseDump(t *testing.T, src string) string {
+	t.Helper()
+	m := testMutator()
+	syms := NewSymTab(m)
+	root, _, err := Parse(m, syms, src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return DumpNode(m, root, syms)
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`1 + 2 * 3`, "(+ 1 (* 2 3))"},
+		{`1 * 2 + 3`, "(+ (* 1 2) 3)"},
+		{`1 - 2 - 3`, "(- (- 1 2) 3)"},
+		{`1 < 2 + 3`, "(< 1 (+ 2 3))"},
+		{`1 :: 2 :: xs`, "(:: 1 (:: 2 xs))"},
+		{`a ^ b ^ c`, "(^ (^ a b) c)"},
+		{`f x y`, "((f x) y)"},
+		{`f x + g y`, "(+ (f x) (g y))"},
+		{`not a andalso b`, "(andalso (not a) b)"},
+		{`a andalso b orelse c`, "(orelse (andalso a b) c)"},
+		{`r := 1 + 2`, "(:= r (+ 1 2))"},
+		{`!r + 1`, "(+ (! r) 1)"},
+		{`~x * 2`, "(* (~ x) 2)"},
+		{`#1 p + #2 p`, "(+ (#1 p) (#2 p))"},
+		{`x = 1 :: []`, "(= x (:: 1 (list )))"},
+	}
+	for _, c := range cases {
+		if got := parseDump(t, c.src); got != c.want {
+			t.Errorf("%s => %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseBindingForms(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`let x = 1 in x`, "(let x 1 x)"},
+		{`fn x => x + 1`, "(fn x (+ x 1))"},
+		{`fun f x = x in f`, "(fun [(f x x)] f)"},
+		{`fun f x y = y in f`, "(fun [(f x (fn y y))] f)"},
+		{`fun f x = g x and g y = f y in f`, "(fun [(f x (g x)) (g y (f y))] f)"},
+		{`if a then b else c`, "(if a b c)"},
+		{`(a; b; c)`, "(seq a b c)"},
+		{`(1, 2)`, "(tuple 1 2)"},
+		{`[1, 2, 3]`, "(list 1 2 3)"},
+		{`[]`, "(list )"},
+		{`()`, "()"},
+		{`ref 5`, "(ref 5)"},
+	}
+	for _, c := range cases {
+		if got := parseDump(t, c.src); got != c.want {
+			t.Errorf("%s => %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	got := parseDump(t, `case xs of [] => 0 | (a, b) :: _ => a | x => x`)
+	want := "(case xs [(([]) => 0) (((:: (ptuple a b) _)) => a) ((x) => x)])"
+	// The dump format for alternatives is (pat => body); normalise spaces.
+	if !strings.Contains(got, "case xs") ||
+		!strings.Contains(got, "[]") ||
+		!strings.Contains(got, "ptuple a b") {
+		t.Fatalf("got %s (reference %s)", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`let = 1 in x`,     // missing name
+		`let x 1 in x`,     // missing =
+		`let x = 1 x`,      // missing in
+		`fn => x`,          // missing param
+		`fn x x`,           // missing =>
+		`if a then b`,      // missing else
+		`case x of`,        // no alternatives
+		`case x of 1 -> 2`, // wrong arrow
+		`(1, 2`,            // unclosed paren
+		`[1, 2`,            // unclosed bracket
+		`fun f = 1 in f`,   // zero parameters
+		`1 +`,              // dangling operator
+		``,                 // empty program
+		`1 2 3 extra )`,    // trailing junk
+	}
+	m := testMutator()
+	for _, src := range cases {
+		syms := NewSymTab(m)
+		if _, _, err := Parse(m, syms, src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseErrorsCarryPositions(t *testing.T) {
+	m := testMutator()
+	syms := NewSymTab(m)
+	_, _, err := Parse(m, syms, "let x =\n   in x")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Pos.Line != 2 {
+		t.Fatalf("error position %v, want line 2", perr.Pos)
+	}
+}
+
+func TestStringLiteralPool(t *testing.T) {
+	m := testMutator()
+	syms := NewSymTab(m)
+	_, lits, err := Parse(m, syms, `("a" ^ "b" ^ "a" ^ "c")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lits) != 3 { // "a" deduplicated
+		t.Fatalf("literal pool %v", lits)
+	}
+}
+
+func TestSymTabInterning(t *testing.T) {
+	m := testMutator()
+	syms := NewSymTab(m)
+	a := syms.Intern("foo")
+	b := syms.Intern("bar")
+	c := syms.Intern("foo")
+	if a != c || a == b {
+		t.Fatalf("interning broken: %d %d %d", a, b, c)
+	}
+	if syms.Name(a) != "foo" || syms.Name(b) != "bar" {
+		t.Fatal("Name lookup broken")
+	}
+	if syms.Len() != 2 {
+		t.Fatalf("Len = %d", syms.Len())
+	}
+	if syms.Name(999) != "?" {
+		t.Fatal("out-of-range Name should be ?")
+	}
+}
+
+// TestParserSurvivesCollections parses a large program with a tiny nursery
+// so the heap AST is built across many collections, exercising the handle
+// discipline.
+func TestParserSurvivesCollections(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		b.WriteString("let v")
+		b.WriteString(strings.Repeat("x", i%7+1))
+		b.WriteString(" = (1, [2, 3], \"s\") in\n")
+	}
+	b.WriteString("0")
+	m := testMutator()
+	syms := NewSymTab(m)
+	root, _, err := Parse(m, syms, b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dump walks the whole surviving AST, verifying it is intact.
+	out := DumpNode(m, root, syms)
+	if !strings.Contains(out, "let v") {
+		t.Fatal("dump lost structure")
+	}
+	if gc := m.GC.Stats(); gc.MinorCollections == 0 {
+		t.Fatal("test did not exercise collection")
+	}
+}

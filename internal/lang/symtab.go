@@ -1,0 +1,54 @@
+package lang
+
+import (
+	"repligc/internal/core"
+)
+
+// SymTab interns identifiers. Each symbol's name is also allocated as a
+// string object on the simulated heap (kept live through a heap list), so
+// the compiler's symbol handling contributes compiler-shaped allocation to
+// the Comp workload, as SML/NJ's atom tables did.
+type SymTab struct {
+	m     *core.Mutator
+	ids   map[string]int32
+	names []string
+	strs  core.Handle // heap list of heap strings
+}
+
+// NewSymTab builds an empty table over m. The table owns one handle slot
+// for the lifetime of the compilation.
+func NewSymTab(m *core.Mutator) *SymTab {
+	return &SymTab{
+		m:    m,
+		ids:  make(map[string]int32),
+		strs: listNil(m),
+	}
+}
+
+// Intern returns the symbol id for name, creating it if needed.
+func (s *SymTab) Intern(name string) int32 {
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := int32(len(s.names))
+	s.ids[name] = id
+	s.names = append(s.names, name)
+
+	mark := s.m.HandleMark()
+	hs := s.m.PushHandle(s.m.AllocString([]byte(name)))
+	cell := listCons(s.m, hs, s.strs)
+	s.m.SetHandleVal(s.strs, s.m.HandleVal(cell))
+	s.m.PopHandles(mark)
+	return id
+}
+
+// Name returns the symbol's spelling.
+func (s *SymTab) Name(id int32) string {
+	if int(id) < len(s.names) {
+		return s.names[id]
+	}
+	return "?"
+}
+
+// Len reports the number of interned symbols.
+func (s *SymTab) Len() int { return len(s.names) }

@@ -1,0 +1,115 @@
+// Package lang implements the MiniML language: lexer, parser, and a
+// compiler to the VM's bytecode. The compiler is simultaneously a substrate
+// (it produces the programs the benchmarks run) and the paper's Comp
+// workload: its abstract syntax trees, symbol strings, scope structures and
+// emitted code buffers all live on the simulated heap, allocated through
+// the mutator API, so that compiling MiniML source exercises the collector
+// the way compiling SML exercised SML/NJ's — including the many byte-data
+// mutations (code emission) whose logging cost the paper measures in §4.5.
+package lang
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TInt
+	TString
+	TIdent
+	TProj // #N
+
+	// Keywords.
+	TLet
+	TIn
+	TFn
+	TFun
+	TAnd // "and" chains mutually recursive functions
+	TIf
+	TThen
+	TElse
+	TCase
+	TOf
+	TTrue
+	TFalse
+	TAndalso
+	TOrelse
+	TNot
+	TRef
+	TMod
+
+	// Punctuation and operators.
+	TLParen
+	TRParen
+	TLBrack
+	TRBrack
+	TComma
+	TSemi
+	TBar
+	TArrow  // =>
+	TEq     // =
+	TNe     // <>
+	TLt     // <
+	TLe     // <=
+	TGt     // >
+	TGe     // >=
+	TPlus   // +
+	TMinus  // -
+	TStar   // *
+	TSlash  // /
+	TCaret  // ^
+	TCons   // ::
+	TAssign // :=
+	TBang   // !
+	TTilde  // ~
+	TUscore // _
+)
+
+var tokNames = map[TokKind]string{
+	TEOF: "end of input", TInt: "integer", TString: "string", TIdent: "identifier",
+	TProj: "#N", TLet: "let", TIn: "in", TFn: "fn", TFun: "fun", TAnd: "and",
+	TIf: "if", TThen: "then", TElse: "else", TCase: "case", TOf: "of",
+	TTrue: "true", TFalse: "false", TAndalso: "andalso", TOrelse: "orelse",
+	TNot: "not", TRef: "ref", TMod: "mod", TLParen: "(", TRParen: ")",
+	TLBrack: "[", TRBrack: "]", TComma: ",", TSemi: ";", TBar: "|",
+	TArrow: "=>", TEq: "=", TNe: "<>", TLt: "<", TLe: "<=", TGt: ">",
+	TGe: ">=", TPlus: "+", TMinus: "-", TStar: "*", TSlash: "/", TCaret: "^",
+	TCons: "::", TAssign: ":=", TBang: "!", TTilde: "~", TUscore: "_",
+}
+
+// String names the token kind.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string // identifier or string-literal contents
+	Int  int64  // integer value, or projection index for TProj
+}
+
+// Pos is a line/column source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a lexing, parsing or compilation error with position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,70 @@
+// Package policy implements the paper's measurement methodology (§4.2):
+// the real-time collector is run once to produce a script of exactly when
+// it flipped and how much allocation space it returned, and that script is
+// replayed for the other configurations, so that measured differences come
+// from the collection mechanism rather than from policy decisions. Scripts
+// are expressed in total-bytes-allocated coordinates, which are identical
+// across configurations because the workloads are deterministic and cannot
+// observe the collector.
+package policy
+
+// Event records one minor flip of the recording run.
+type Event struct {
+	// AllocMark is Mutator.BytesAllocated at the instant of the flip.
+	AllocMark int64
+	// MajorFlip reports whether a major collection completed in the same
+	// pause as this minor flip.
+	MajorFlip bool
+}
+
+// Script is the ordered flip history of one run.
+type Script struct {
+	Events []Event
+}
+
+// Record appends an event.
+func (s *Script) Record(e Event) { s.Events = append(s.Events, e) }
+
+// Len reports the number of recorded events.
+func (s *Script) Len() int { return len(s.Events) }
+
+// Cursor walks a script during replay.
+type Cursor struct {
+	s   *Script
+	idx int
+}
+
+// NewCursor starts a replay of s.
+func NewCursor(s *Script) *Cursor { return &Cursor{s: s} }
+
+// Next consumes the next event. Exhausted scripts return ok=false; the
+// replaying collector then falls back to its native policy (this happens
+// only for trailing collections after the recorded run's last flip).
+func (c *Cursor) Next() (Event, bool) {
+	if c == nil || c.s == nil || c.idx >= len(c.s.Events) {
+		return Event{}, false
+	}
+	e := c.s.Events[c.idx]
+	c.idx++
+	return e, true
+}
+
+// PeekMark reports the allocation mark of the upcoming event, or ok=false
+// when the script is exhausted.
+func (c *Cursor) PeekMark() (int64, bool) {
+	if c == nil || c.s == nil || c.idx >= len(c.s.Events) {
+		return 0, false
+	}
+	return c.s.Events[c.idx].AllocMark, true
+}
+
+// NurseryDelta reports the allocation room the recorded run granted between
+// the flip at mark prev and the upcoming flip: the replayed nursery limit.
+// ok=false when the script is exhausted.
+func (c *Cursor) NurseryDelta(prev int64) (int64, bool) {
+	mark, ok := c.PeekMark()
+	if !ok || mark <= prev {
+		return 0, ok && mark > prev
+	}
+	return mark - prev, true
+}

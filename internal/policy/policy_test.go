@@ -1,0 +1,105 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCursorWalk(t *testing.T) {
+	s := &Script{}
+	s.Record(Event{AllocMark: 100})
+	s.Record(Event{AllocMark: 250, MajorFlip: true})
+	s.Record(Event{AllocMark: 400})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+
+	c := NewCursor(s)
+	if m, ok := c.PeekMark(); !ok || m != 100 {
+		t.Fatalf("peek = %d, %v", m, ok)
+	}
+	e, ok := c.Next()
+	if !ok || e.AllocMark != 100 || e.MajorFlip {
+		t.Fatalf("first = %+v", e)
+	}
+	e, ok = c.Next()
+	if !ok || !e.MajorFlip {
+		t.Fatalf("second = %+v", e)
+	}
+	if _, ok := c.Next(); !ok {
+		t.Fatal("third missing")
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("cursor did not exhaust")
+	}
+	if _, ok := c.PeekMark(); ok {
+		t.Fatal("peek after exhaustion")
+	}
+}
+
+func TestNurseryDelta(t *testing.T) {
+	s := &Script{Events: []Event{{AllocMark: 300}, {AllocMark: 520}}}
+	c := NewCursor(s)
+	if d, ok := c.NurseryDelta(0); !ok || d != 300 {
+		t.Fatalf("delta = %d, %v", d, ok)
+	}
+	c.Next()
+	if d, ok := c.NurseryDelta(300); !ok || d != 220 {
+		t.Fatalf("delta = %d, %v", d, ok)
+	}
+	c.Next()
+	if _, ok := c.NurseryDelta(520); ok {
+		t.Fatal("delta on exhausted script")
+	}
+}
+
+func TestNurseryDeltaNonIncreasingMark(t *testing.T) {
+	s := &Script{Events: []Event{{AllocMark: 100}}}
+	c := NewCursor(s)
+	if d, ok := c.NurseryDelta(150); ok && d > 0 {
+		t.Fatalf("delta for passed mark = %d, %v", d, ok)
+	}
+}
+
+func TestNilCursorSafe(t *testing.T) {
+	var c *Cursor
+	if _, ok := c.Next(); ok {
+		t.Fatal("nil cursor Next should be empty")
+	}
+	if _, ok := c.PeekMark(); ok {
+		t.Fatal("nil cursor Peek should be empty")
+	}
+}
+
+func TestCursorProperty(t *testing.T) {
+	f := func(marks []uint16) bool {
+		s := &Script{}
+		var total int64
+		for _, m := range marks {
+			total += int64(m) + 1
+			s.Record(Event{AllocMark: total})
+		}
+		c := NewCursor(s)
+		prev := int64(0)
+		n := 0
+		for {
+			d, ok := c.NurseryDelta(prev)
+			if !ok {
+				break
+			}
+			e, ok2 := c.Next()
+			if !ok2 {
+				return false
+			}
+			if prev+d != e.AllocMark {
+				return false
+			}
+			prev = e.AllocMark
+			n++
+		}
+		return n == len(marks)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package simtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PauseKind classifies a recorded collector pause.
+type PauseKind int
+
+// Pause kinds.
+const (
+	PauseMinor PauseKind = iota // a minor collection (or one increment of one)
+	PauseMajor                  // a non-incremental major collection
+	PauseOther                  // anything else (forced collections, flips)
+)
+
+var pauseKindNames = [...]string{"minor", "major", "other"}
+
+// String returns the pause kind's name.
+func (k PauseKind) String() string {
+	if int(k) < len(pauseKindNames) {
+		return pauseKindNames[k]
+	}
+	return fmt.Sprintf("pausekind(%d)", int(k))
+}
+
+// Pause is one recorded stop-the-mutator interval.
+type Pause struct {
+	At       Duration // simulated time at the start of the pause
+	Length   Duration
+	Kind     PauseKind
+	CopiedB  int64 // bytes copied during the pause
+	LogProcN int64 // log entries processed during the pause
+}
+
+// Recorder accumulates the pauses of one benchmark run.
+type Recorder struct {
+	Pauses []Pause
+}
+
+// Record appends a pause.
+func (r *Recorder) Record(p Pause) { r.Pauses = append(r.Pauses, p) }
+
+// Durations returns the lengths of all pauses, in recording order.
+func (r *Recorder) Durations() []Duration {
+	out := make([]Duration, len(r.Pauses))
+	for i, p := range r.Pauses {
+		out[i] = p.Length
+	}
+	return out
+}
+
+// CSV renders the recorded pauses as comma-separated rows (start time and
+// length in simulated nanoseconds, kind, bytes copied, log entries
+// processed) for offline analysis and plotting.
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	b.WriteString("at_ns,length_ns,kind,copied_bytes,log_entries\n")
+	for _, p := range r.Pauses {
+		fmt.Fprintf(&b, "%d,%d,%s,%d,%d\n", int64(p.At), int64(p.Length), p.Kind, p.CopiedB, p.LogProcN)
+	}
+	return b.String()
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of pause lengths
+// using nearest-rank on a sorted copy. It returns 0 when no pauses were
+// recorded.
+func (r *Recorder) Percentile(p float64) Duration {
+	return Percentile(r.Durations(), p)
+}
+
+// Max returns the longest recorded pause (0 when none).
+func (r *Recorder) Max() Duration {
+	var m Duration
+	for _, p := range r.Pauses {
+		if p.Length > m {
+			m = p.Length
+		}
+	}
+	return m
+}
+
+// Total returns the summed length of all pauses.
+func (r *Recorder) Total() Duration {
+	var t Duration
+	for _, p := range r.Pauses {
+		t += p.Length
+	}
+	return t
+}
+
+// Percentile returns the p-th percentile of ds by nearest rank. The input
+// is not modified. It returns 0 for an empty slice.
+func Percentile(ds []Duration, p float64) Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Histogram buckets pause durations into fixed-width bins, mirroring the
+// paper's figures 5 and 6.
+type Histogram struct {
+	BinWidth Duration
+	Min      Duration // durations below Min are dropped
+	Max      Duration // durations at or above Max land in the overflow bin
+	Counts   []int
+	Overflow int
+}
+
+// NewHistogram builds a histogram covering [min, max) with the given bin
+// width. It panics when the parameters are inconsistent.
+func NewHistogram(binWidth, min, max Duration) *Histogram {
+	if binWidth <= 0 || max <= min {
+		panic("simtime: invalid histogram bounds")
+	}
+	n := int((max - min + binWidth - 1) / binWidth)
+	return &Histogram{BinWidth: binWidth, Min: min, Max: max, Counts: make([]int, n)}
+}
+
+// Add records one duration.
+func (h *Histogram) Add(d Duration) {
+	if d < h.Min {
+		return
+	}
+	if d >= h.Max {
+		h.Overflow++
+		return
+	}
+	h.Counts[(d-h.Min)/h.BinWidth]++
+}
+
+// AddAll records every duration in ds.
+func (h *Histogram) AddAll(ds []Duration) {
+	for _, d := range ds {
+		h.Add(d)
+	}
+}
+
+// Render writes the histogram as fixed-width text rows: bin start, count,
+// and a proportional bar. Empty leading/trailing bins are kept so series
+// from different runs line up.
+func (h *Histogram) Render(label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", label)
+	peak := h.Overflow
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	for i, c := range h.Counts {
+		lo := h.Min + Duration(i)*h.BinWidth
+		bar := strings.Repeat("#", c*50/peak)
+		fmt.Fprintf(&b, "  %8s %6d %s\n", lo.String(), c, bar)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&b, "  %7s+ %6d %s\n", h.Max.String(), h.Overflow,
+			strings.Repeat("#", h.Overflow*50/peak))
+	}
+	return b.String()
+}

@@ -1,0 +1,247 @@
+// Package stopcopy is the baseline: a classical two-generation
+// stop-and-copy collector in the style of the original SML/NJ collector the
+// paper compares against. It forwards destructively while the mutator is
+// stopped, consumes the storelist as its remembered set, and updates
+// referring slots immediately — there is no replica consistency machinery,
+// no reapply cost and no separate flip traversal. It is implemented
+// independently of the replication collector so the two can be checked
+// against each other (differential testing) as well as benchmarked.
+package stopcopy
+
+import (
+	"fmt"
+
+	"repligc/internal/core"
+	"repligc/internal/heap"
+	"repligc/internal/policy"
+	"repligc/internal/simtime"
+)
+
+// Config parameterises the baseline collector.
+type Config struct {
+	// NurseryBytes is the paper's N.
+	NurseryBytes int64
+	// MajorThresholdBytes is the paper's O; zero disables major
+	// collections.
+	MajorThresholdBytes int64
+	// Replay, when non-nil, drives collection points from a recorded
+	// script instead of N and O (the paper's §4.2 methodology).
+	Replay *policy.Script
+}
+
+// Collector is the stop-and-copy baseline.
+type Collector struct {
+	cfg   Config
+	h     *heap.Heap
+	stats core.GCStats
+	rec   simtime.Recorder
+
+	logCursor          int64
+	promotedSinceMajor int64
+	scan               uint64 // shared Cheney cursor for the current collection
+
+	replay      *policy.Cursor
+	forcedMajor bool
+}
+
+// New builds the baseline collector over h.
+func New(h *heap.Heap, cfg Config) *Collector {
+	c := &Collector{cfg: cfg, h: h}
+	h.Nursery.SetLimitBytes(cfg.NurseryBytes)
+	if cfg.Replay != nil {
+		c.replay = policy.NewCursor(cfg.Replay)
+		if d, ok := policy.NewCursor(cfg.Replay).NurseryDelta(0); ok {
+			h.Nursery.SetLimitBytes(d)
+		}
+	}
+	return c
+}
+
+// Name implements core.Collector.
+func (c *Collector) Name() string { return "stop-copy" }
+
+// Stats implements core.Collector.
+func (c *Collector) Stats() *core.GCStats { return &c.stats }
+
+// Pauses implements core.Collector.
+func (c *Collector) Pauses() *simtime.Recorder { return &c.rec }
+
+// AfterAlloc implements core.Collector; collection points are steered by
+// nursery limits, so nothing happens here.
+func (c *Collector) AfterAlloc(m *core.Mutator) {}
+
+// NoteOldAlloc implements core.OldAllocNoter for oversized allocations.
+func (c *Collector) NoteOldAlloc(p heap.Value, hdr heap.Header) {
+	c.promotedSinceMajor += hdr.SizeBytes()
+}
+
+// FinishCycles implements core.Collector; stop-and-copy collections always
+// complete within their pause, so there is nothing to finish.
+func (c *Collector) FinishCycles(m *core.Mutator) {}
+
+// CollectForAlloc implements core.Collector: one stop-the-world pause
+// containing a minor collection and, when the promotion threshold (or the
+// replay script) says so, a major collection. Minor+major happen under a
+// single pause, which is exactly what produces the long baseline pauses of
+// the paper's figure 6.
+func (c *Collector) CollectForAlloc(m *core.Mutator, needWords int) {
+	m.Clock.BeginPause()
+	at := m.Clock.Now()
+	start := c.stats.TotalBytesCopied()
+	logStart := c.stats.LogScanned
+	c.stats.PauseCount++
+
+	c.minorCollect(m)
+
+	major := c.cfg.MajorThresholdBytes > 0 && c.promotedSinceMajor >= c.cfg.MajorThresholdBytes
+	if c.replay != nil {
+		major = c.forcedMajor
+	}
+	kind := simtime.PauseMinor
+	if major {
+		c.majorCollect(m)
+		kind = simtime.PauseMajor
+	}
+
+	length := m.Clock.EndPause()
+	c.rec.Record(simtime.Pause{
+		At: at, Length: length, Kind: kind,
+		CopiedB:  c.stats.TotalBytesCopied() - start,
+		LogProcN: c.stats.LogScanned - logStart,
+	})
+}
+
+// forward destructively copies the object at v into dst (unless already
+// forwarded) and returns the to-space address.
+func (c *Collector) forward(m *core.Mutator, v heap.Value, dst *heap.Space, acct simtime.Account, copied *int64) heap.Value {
+	h := c.h
+	if h.IsForwarded(v) {
+		return h.ForwardAddr(v)
+	}
+	hdr := heap.Header(h.RawHeader(v))
+	replica, ok := h.CopyObject(v, dst)
+	if !ok {
+		panic(fmt.Sprintf("stopcopy: %s exhausted", dst.Name))
+	}
+	h.SetForward(v, replica)
+	*copied += hdr.SizeBytes()
+	m.Clock.Charge(acct, simtime.Duration(hdr.SizeWords())*m.Cost.CopyWord)
+	return replica
+}
+
+// minorCollect copies live nursery data into the old generation.
+func (c *Collector) minorCollect(m *core.Mutator) {
+	h := c.h
+	from := &h.Nursery
+	to := h.OldFrom()
+	c.scan = to.Next
+	copiedBefore := c.stats.BytesCopiedMinor
+
+	// Remembered set: logged old-space slots holding nursery pointers are
+	// updated in place as they are processed — no flip traversal.
+	for c.logCursor < m.Log.Len() {
+		e := m.Log.At(c.logCursor)
+		c.logCursor++
+		c.stats.LogScanned++
+		m.Clock.Charge(simtime.AcctLogScan, m.Cost.LogScan)
+		if e.Byte || !to.Contains(e.Obj) {
+			continue
+		}
+		v := h.Load(e.Obj, int(e.Slot))
+		if from.Contains(v) {
+			h.Store(e.Obj, int(e.Slot), c.forward(m, v, to, simtime.AcctMinorCopy, &c.stats.BytesCopiedMinor))
+		}
+	}
+
+	// Roots.
+	n := m.Roots.Visit(func(slot *heap.Value) {
+		v := *slot
+		if from.Contains(v) {
+			*slot = c.forward(m, v, to, simtime.AcctMinorCopy, &c.stats.BytesCopiedMinor)
+		}
+	})
+	c.stats.RootSlotUpdates += int64(n)
+	m.Clock.Charge(simtime.AcctRootScan, simtime.Duration(n)*m.Cost.RootUpdate)
+
+	// Cheney scan of the promotion region.
+	c.cheney(m, from, to, simtime.AcctMinorCopy, &c.stats.BytesCopiedMinor)
+
+	c.promotedSinceMajor += c.stats.BytesCopiedMinor - copiedBefore
+
+	h.Nursery.Reset()
+	c.stats.MinorCollections++
+	c.stats.FlipCopied = append(c.stats.FlipCopied, c.stats.TotalBytesCopied())
+	m.Log.TrimTo(m.Log.Len())
+	c.logCursor = m.Log.Len()
+	c.setNextNurseryLimit(m)
+}
+
+// cheney scans to-space from c.scan, forwarding every from-space referent.
+func (c *Collector) cheney(m *core.Mutator, from, to *heap.Space, acct simtime.Account, copied *int64) {
+	h := c.h
+	for c.scan < to.Next {
+		w := h.Arena[c.scan]
+		if !heap.IsHeader(w) {
+			panic("stopcopy: scan hit forwarded object in to-space")
+		}
+		hdr := heap.Header(w)
+		p := heap.Value((c.scan + 1) << 3)
+		m.Clock.Charge(acct, simtime.Duration(hdr.SizeWords())*m.Cost.ScanWord)
+		if hdr.Kind().HasPointers() {
+			for i := 0; i < hdr.Len(); i++ {
+				v := h.Load(p, i)
+				if from.Contains(v) {
+					h.Store(p, i, c.forward(m, v, to, acct, copied))
+				}
+			}
+		}
+		c.scan += uint64(hdr.SizeWords())
+	}
+}
+
+// majorCollect copies all live old-generation data into the reserve
+// semispace and swaps. It runs right after a minor collection, so the
+// nursery is empty and the mutator roots are the only root set.
+func (c *Collector) majorCollect(m *core.Mutator) {
+	h := c.h
+	if h.Nursery.UsedWords() != 0 {
+		panic("stopcopy: major collection with non-empty nursery")
+	}
+	from := h.OldFrom()
+	to := h.OldTo()
+	c.scan = to.Next
+
+	n := m.Roots.Visit(func(slot *heap.Value) {
+		v := *slot
+		if from.Contains(v) {
+			*slot = c.forward(m, v, to, simtime.AcctMajorCopy, &c.stats.BytesCopiedMajor)
+		}
+	})
+	c.stats.RootSlotUpdates += int64(n)
+	m.Clock.Charge(simtime.AcctRootScan, simtime.Duration(n)*m.Cost.RootUpdate)
+
+	c.cheney(m, from, to, simtime.AcctMajorCopy, &c.stats.BytesCopiedMajor)
+
+	h.SwapOld()
+	c.promotedSinceMajor = 0
+	c.stats.MajorCollections++
+	c.forcedMajor = false
+}
+
+// setNextNurseryLimit applies the configured N or the replayed delta.
+func (c *Collector) setNextNurseryLimit(m *core.Mutator) {
+	limit := c.cfg.NurseryBytes
+	if c.replay != nil {
+		if ev, ok := c.replay.Next(); ok {
+			c.forcedMajor = ev.MajorFlip
+			if d, ok := c.replay.NurseryDelta(m.BytesAllocated); ok {
+				limit = d
+			}
+		}
+	}
+	const floor = 64 << 10
+	if limit < floor {
+		limit = floor
+	}
+	c.h.Nursery.SetLimitBytes(limit)
+}

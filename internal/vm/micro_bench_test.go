@@ -1,0 +1,72 @@
+package vm_test
+
+// Wall-clock micro-benchmarks of the language substrate: compilation speed
+// and interpretation speed of the Go implementation (the simulated clock is
+// not involved in what these measure).
+
+import (
+	"testing"
+
+	"repligc/internal/core"
+	"repligc/internal/heap"
+	"repligc/internal/lang"
+	"repligc/internal/simtime"
+	"repligc/internal/stopcopy"
+	"repligc/internal/vm"
+)
+
+func benchRuntime() *core.Mutator {
+	h := heap.New(heap.Config{NurseryBytes: 1 << 20, NurseryCapBytes: 16 << 20, OldSemiBytes: 64 << 20})
+	m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogAllMutations)
+	gc := stopcopy.New(h, stopcopy.Config{NurseryBytes: 1 << 20, MajorThresholdBytes: 8 << 20})
+	m.AttachGC(gc)
+	return m
+}
+
+// BenchmarkCompilePrelude measures compiling the ~120-line standard prelude.
+func BenchmarkCompilePrelude(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := benchRuntime()
+		if _, err := lang.Compile(m, lang.Prelude+"0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(lang.Prelude)))
+}
+
+// BenchmarkVMFib measures interpretation throughput on call-heavy code.
+func BenchmarkVMFib(b *testing.B) {
+	m := benchRuntime()
+	prog, err := lang.Compile(m, `fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) in print (itos (fib 20))`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		machine := vm.New(m, prog)
+		if err := machine.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(machine.Steps), "bytecodes/op")
+	}
+}
+
+// BenchmarkVMListChurn measures allocation-heavy interpretation.
+func BenchmarkVMListChurn(b *testing.B) {
+	m := benchRuntime()
+	prog, err := lang.Compile(m, `
+fun build n acc = if n = 0 then acc else build (n - 1) (n :: acc) in
+fun sum l acc = case l of [] => acc | x :: r => sum r (acc + x) in
+print (itos (sum (build 20000 []) 0))`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		machine := vm.New(m, prog)
+		if err := machine.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

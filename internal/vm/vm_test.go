@@ -1,0 +1,557 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repligc/internal/bytecode"
+	"repligc/internal/core"
+	"repligc/internal/heap"
+	"repligc/internal/lang"
+	"repligc/internal/simtime"
+	"repligc/internal/stopcopy"
+	"repligc/internal/vm"
+)
+
+// run compiles and executes src under the real-time collector with a small
+// nursery, returning the program's output.
+func run(t *testing.T, src string) string {
+	t.Helper()
+	out, err := tryRun(src, "rt")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func tryRun(src, collector string) (string, error) {
+	h := heap.New(heap.Config{
+		NurseryBytes:    64 << 10,
+		NurseryCapBytes: 2 << 20,
+		OldSemiBytes:    32 << 20,
+	})
+	m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogAllMutations)
+	var gc core.Collector
+	switch collector {
+	case "rt":
+		gc = core.NewReplicating(h, core.Config{
+			NurseryBytes:        64 << 10,
+			MajorThresholdBytes: 512 << 10,
+			CopyLimitBytes:      16 << 10,
+			IncrementalMinor:    true,
+			IncrementalMajor:    true,
+		})
+	case "sc":
+		gc = stopcopy.New(h, stopcopy.Config{NurseryBytes: 64 << 10, MajorThresholdBytes: 512 << 10})
+	}
+	m.AttachGC(gc)
+	prog, err := lang.Compile(m, src)
+	if err != nil {
+		return "", err
+	}
+	machine := vm.New(m, prog)
+	machine.MaxSteps = 200_000_000
+	if err := machine.Run(); err != nil {
+		return machine.Output.String(), err
+	}
+	return machine.Output.String(), nil
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`print (itos (1 + 2 * 3))`, "7"},
+		{`print (itos (10 - 3 - 2))`, "5"},
+		{`print (itos (17 / 5))`, "3"},
+		{`print (itos (17 mod 5))`, "2"},
+		{`print (itos (~5 + 3))`, "-2"},
+		{`if 3 < 4 then print "yes" else print "no"`, "yes"},
+		{`if 3 >= 4 then print "yes" else print "no"`, "no"},
+		{`if true andalso false then print "a" else print "b"`, "b"},
+		{`if false orelse true then print "a" else print "b"`, "a"},
+		{`if not (1 = 2) then print "ne" else print "eq"`, "ne"},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src); got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand must not be evaluated when the left decides.
+	src := `let r = ref 0 in
+	(if false andalso (r := 1; true) then () else ();
+	 if true orelse (r := 2; true) then () else ();
+	 print (itos (!r)))`
+	if got := run(t, src); got != "0" {
+		t.Fatalf("short circuit broke: r = %s", got)
+	}
+}
+
+func TestLetAndFunctions(t *testing.T) {
+	src := `
+let x = 10 in
+let y = x * 2 in
+fun add a b = a + b in
+print (itos (add x y))`
+	if got := run(t, src); got != "30" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestClosuresCapture(t *testing.T) {
+	src := `
+fun mkadd n = fn x => x + n in
+let add5 = mkadd 5 in
+let add7 = mkadd 7 in
+print (itos (add5 10 + add7 100))`
+	if got := run(t, src); got != "122" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRecursionAndTailCalls(t *testing.T) {
+	// A tail loop of a million iterations must not overflow anything.
+	src := `
+fun loop i acc = if i = 0 then acc else loop (i - 1) (acc + i) in
+print (itos (loop 1000000 0))`
+	if got := run(t, src); got != "500000500000" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	src := `
+fun isEven n = if n = 0 then true else isOdd (n - 1)
+and isOdd n = if n = 0 then false else isEven (n - 1) in
+(if isEven 10 then print "e" else print "o";
+ if isOdd 7 then print "O" else print "E")`
+	if got := run(t, src); got != "eO" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestListsAndCase(t *testing.T) {
+	src := `
+fun sum l = case l of [] => 0 | x :: rest => x + sum rest in
+fun len l = case l of [] => 0 | _ :: rest => 1 + len rest in
+(print (itos (sum [1, 2, 3, 4, 5]));
+ print " ";
+ print (itos (len [7, 7, 7])))`
+	if got := run(t, src); got != "15 3" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNestedPatterns(t *testing.T) {
+	src := `
+fun pairs l = case l of
+    [] => 0
+  | (a, b) :: rest => a * b + pairs rest in
+print (itos (pairs [(2, 3), (4, 5)]))`
+	if got := run(t, src); got != "26" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCaseLiteralsAndFallthrough(t *testing.T) {
+	src := `
+fun f n = case n of 0 => "zero" | 1 => "one" | _ => "many" in
+(print (f 0); print (f 1); print (f 9))`
+	if got := run(t, src); got != "zeroonemany" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMatchFailure(t *testing.T) {
+	_, err := tryRun(`case 5 of 1 => print "one"`, "rt")
+	if err == nil || !strings.Contains(err.Error(), "match failure") {
+		t.Fatalf("want match failure, got %v", err)
+	}
+}
+
+func TestTuplesAndProjections(t *testing.T) {
+	src := `
+let t = (1, "two", 3) in
+(print (itos (#1 t)); print (#2 t); print (itos (#3 t)))`
+	if got := run(t, src); got != "1two3" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRefsAndSequence(t *testing.T) {
+	src := `
+let r = ref 10 in
+(r := !r + 5;
+ r := !r * 2;
+ print (itos (!r)))`
+	if got := run(t, src); got != "30" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	src := `
+let a = array 10 0 in
+fun fill i = if i = 10 then () else (aset a i (i * i); fill (i + 1)) in
+fun total i acc = if i = 10 then acc else total (i + 1) (acc + aget a i) in
+(fill 0; print (itos (total 0 0)); print " "; print (itos (alen a)))`
+	if got := run(t, src); got != "285 10" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	src := `
+let s = "hello" ^ ", " ^ "world" in
+(print s; print " "; print (itos (size s)); print " "; print (itos (sub s 0)))`
+	if got := run(t, src); got != "hello, world 12 104" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPolymorphicEquality(t *testing.T) {
+	src := `
+(if [1, 2, 3] = [1, 2, 3] then print "structural" else print "no";
+ print " ";
+ if (1, (2, 3)) = (1, (2, 3)) then print "deep" else print "shallow";
+ print " ";
+ let r = ref 1 in
+ let s = ref 1 in
+ if r = s then print "refs-eq" else print "refs-ne")`
+	if got := run(t, src); got != "structural deep refs-ne" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStoi(t *testing.T) {
+	if got := run(t, `print (itos (stoi "123" + 1))`); got != "124" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestThreadsAndSyncVars(t *testing.T) {
+	src := `
+let sv = newsv () in
+(spawn (fn u => putsv sv 42);
+ print (itos (takesv sv)))`
+	if got := run(t, src); got != "42" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFuturesFanOut(t *testing.T) {
+	src := `
+fun future f = let sv = newsv () in (spawn (fn u => putsv sv (f ())); sv) in
+fun force sv = takesv sv in
+fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) in
+let a = future (fn u => fib 15) in
+let b = future (fn u => fib 14) in
+print (itos (force a + force b))`
+	if got := run(t, src); got != "987" {
+		t.Fatalf("got %q", got) // fib 15 = 610, fib 14 = 377
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	_, err := tryRun(`print (itos (takesv (newsv ())))`, "rt")
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock, got %v", err)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	_, err := tryRun(`print (itos (1 / 0))`, "rt")
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("want division by zero, got %v", err)
+	}
+}
+
+// TestGCStress allocates heavily with live structures retained across many
+// collections and checks the result under both collectors.
+func TestGCStress(t *testing.T) {
+	src := `
+fun build n = if n = 0 then [] else n :: build (n - 1) in
+fun sum l = case l of [] => 0 | x :: r => x + sum r in
+fun iter k acc =
+  if k = 0 then acc
+  else iter (k - 1) (acc + sum (build 300)) in
+print (itos (iter 200 0))`
+	want := "9030000" // 200 * (300*301/2)
+	for _, gc := range []string{"rt", "sc"} {
+		got, err := tryRun(src, gc)
+		if err != nil {
+			t.Fatalf("%s: %v", gc, err)
+		}
+		if got != want {
+			t.Errorf("%s: got %q, want %q", gc, got, want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		`undefined_variable`,
+		`print`,          // builtin not fully applied (as bare var)
+		`spawn 1 2`,      // builtin arity
+		`let x = 1 in`,   // truncated
+		`case 1 of`,      // truncated
+		`fun f = 1 in f`, // missing parameter
+	}
+	for _, src := range cases {
+		if _, err := tryRun(src, "rt"); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	h := heap.New(heap.Config{NurseryBytes: 64 << 10, NurseryCapBytes: 1 << 20, OldSemiBytes: 8 << 20})
+	m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogAllMutations)
+	gc := stopcopy.New(h, stopcopy.Config{NurseryBytes: 64 << 10})
+	m.AttachGC(gc)
+	prog, err := lang.Compile(m, `fun f x = x + 1 in print (itos (f 41))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := prog.Disassemble()
+	for _, want := range []string{"entry", "call", "print", "halt"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestInstrEncodeDecode(t *testing.T) {
+	ins := bytecode.Instr{Op: bytecode.OpTestInt, A: -12345, B: 67890}
+	var buf [bytecode.EncodedSize]byte
+	ins.EncodeInto(buf[:], 0)
+	back := bytecode.DecodeInstr(buf[:], 0)
+	if back != ins {
+		t.Fatalf("round trip: %v != %v", back, ins)
+	}
+}
+
+func TestVariableShadowing(t *testing.T) {
+	src := `
+let x = 1 in
+let x = x + 10 in
+fun f x = x * 2 in
+(print (itos x); print " "; print (itos (f x)))`
+	if got := run(t, src); got != "11 22" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestClosureOverMutableBinding(t *testing.T) {
+	// A closure captures the ref cell, not a snapshot of its contents.
+	src := `
+let r = ref 1 in
+let get = fn u => !r in
+(r := 99; print (itos (get ())))`
+	if got := run(t, src); got != "99" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDeepDataSurvival(t *testing.T) {
+	// A deep list retained across many collections must stay intact.
+	src := `
+fun build n = if n = 0 then [] else n :: build (n - 1) in
+let keep = build 5000 in
+fun churn k = if k = 0 then () else (build 500; churn (k - 1)) in
+fun sum l acc = case l of [] => acc | x :: r => sum r (acc + x) in
+(churn 200; print (itos (sum keep 0)))`
+	if got := run(t, src); got != "12502500" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSpawnFairness(t *testing.T) {
+	// Two spawned threads and the main thread interleave; both spawned
+	// threads must finish even though main blocks on only one of them.
+	src := `
+let a = newsv () in
+let b = newsv () in
+let done = ref 0 in
+fun work n acc = if n = 0 then acc else work (n - 1) (acc + n) in
+(spawn (fn u => (putsv a (work 5000 0); done := !done + 1));
+ spawn (fn u => (putsv b (work 200 0); done := !done + 1));
+ let x = takesv a in
+ let y = takesv b in
+ print (itos (x + y + !done)))`
+	want := "12522602" // 12502500 + 20100 + 2
+	if got := run(t, src); got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestPutSVTwiceFails(t *testing.T) {
+	_, err := tryRun(`let s = newsv () in (putsv s 1; putsv s 2)`, "rt")
+	if err == nil || !strings.Contains(err.Error(), "putsv on full") {
+		t.Fatalf("want putsv error, got %v", err)
+	}
+}
+
+func TestTakeSVIsReadOnly(t *testing.T) {
+	// Futures semantics: takesv does not empty the variable.
+	src := `let s = newsv () in (putsv s 7; print (itos (takesv s + takesv s)))`
+	if got := run(t, src); got != "14" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStringIndexBounds(t *testing.T) {
+	_, err := tryRun(`print (itos (sub "ab" 2))`, "rt")
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("want bounds error, got %v", err)
+	}
+}
+
+func TestArrayBounds(t *testing.T) {
+	for _, src := range []string{
+		`let a = array 3 0 in print (itos (aget a 3))`,
+		`let a = array 3 0 in aset a (~1) 5`,
+	} {
+		if _, err := tryRun(src, "rt"); err == nil {
+			t.Errorf("no bounds error for %q", src)
+		}
+	}
+}
+
+func TestZeroLengthStructures(t *testing.T) {
+	src := `
+let a = array 0 0 in
+let s = "" in
+(print (itos (alen a)); print (itos (size s));
+ if [] = [] then print "nil-eq" else print "bad")`
+	if got := run(t, src); got != "00nil-eq" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNegativeArithmetic(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`print (itos (~7 mod 3))`, "-1"}, // Go semantics: truncated
+		{`print (itos (~7 / 2))`, "-3"},   // truncated division
+		{`print (itos (0 - 2147483647))`, "-2147483647"},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src); got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestCaseOnMixedValues(t *testing.T) {
+	// The same case expression dispatching over ints and lists (untyped
+	// patterns fail cleanly rather than corrupting the stack).
+	src := `
+fun classify v =
+  case v of
+    0 => "zero"
+  | [] => "zero"  (* unreachable: [] is also the immediate 0 *)
+  | x :: _ => "cons"
+  | _ => "other" in
+(print (classify 0); print " "; print (classify [1]); print " "; print (classify 9))`
+	if got := run(t, src); got != "zero cons other" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestThreadHeavyProgramUnderTinyNursery(t *testing.T) {
+	src := `
+fun future f = let sv = newsv () in (spawn (fn u => putsv sv (f ())); sv) in
+fun build n = if n = 0 then [] else n :: build (n - 1) in
+fun sum l acc = case l of [] => acc | x :: r => sum r (acc + x) in
+fun launch k =
+  if k = 0 then []
+  else future (fn u => sum (build 400) 0) :: launch (k - 1) in
+fun collect fs acc = case fs of [] => acc | f :: r => collect r (acc + takesv f) in
+print (itos (collect (launch 20) 0))`
+	want := "1604000" // 20 * 80200
+	if got := run(t, src); got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+// TestDeterminism: two identical runs must execute the identical number of
+// instructions and produce identical output — the property that makes the
+// paper's record/replay methodology sound.
+func TestDeterminism(t *testing.T) {
+	src := `
+fun future f = let sv = newsv () in (spawn (fn u => putsv sv (f ())); sv) in
+fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) in
+let a = future (fn u => fib 14) in
+print (itos (takesv a + fib 13))`
+	run1 := func() (string, int64) {
+		h := heap.New(heap.Config{NurseryBytes: 32 << 10, NurseryCapBytes: 1 << 20, OldSemiBytes: 16 << 20})
+		m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogAllMutations)
+		gc := core.NewReplicating(h, core.Config{
+			NurseryBytes: 32 << 10, MajorThresholdBytes: 128 << 10,
+			CopyLimitBytes: 8 << 10, IncrementalMinor: true, IncrementalMajor: true,
+		})
+		m.AttachGC(gc)
+		prog, err := lang.Compile(m, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		machine := vm.New(m, prog)
+		if err := machine.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return machine.Output.String(), machine.Steps
+	}
+	o1, s1 := run1()
+	o2, s2 := run1()
+	if o1 != o2 || s1 != s2 {
+		t.Fatalf("nondeterminism: (%q, %d) vs (%q, %d)", o1, s1, o2, s2)
+	}
+}
+
+// TestTypeConfusionIsRuntimeError: untyped programs can apply, project and
+// pattern-match arbitrary values; all of it must surface as MiniML runtime
+// errors or failed matches, never as a crash of the host process.
+func TestTypeConfusionIsRuntimeError(t *testing.T) {
+	errCases := []struct{ src, want string }{
+		{`print ((1, 2) 3)`, "call of non-closure"},
+		{`print (itos (#3 (1, 2)))`, "out of range"},
+		{`print (itos (#1 "str"))`, "out of range"},
+		{`spawn (1, 2)`, "spawn of non-closure"},
+		{`fun f g = g 0 in print (itos (f 5))`, "non-closure"},
+	}
+	for _, c := range errCases {
+		_, err := tryRun(c.src, "rt")
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+	// Cons patterns reject non-record values instead of reinterpreting
+	// their payloads.
+	okCases := []struct{ src, want string }{
+		{`case "ab" of x :: r => print "cons" | _ => print "other"`, "other"},
+		{`case (1, 2, 3) of x :: r => print "cons" | _ => print "other"`, "other"},
+		{`case (1, 2) of (a, b, c) => print "three" | _ => print "other"`, "other"},
+	}
+	for _, c := range okCases {
+		got, err := tryRun(c.src, "rt")
+		if err != nil || got != c.want {
+			t.Errorf("%s => (%q, %v), want %q", c.src, got, err, c.want)
+		}
+	}
+}
+
+func TestListPatterns(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`case [1, 2] of [a, b] => print (itos (a * 10 + b)) | _ => print "no"`, "12"},
+		{`case [1] of [a, b] => print "two" | [a] => print ("one " ^ itos a) | _ => print "no"`, "one 1"},
+		{`case [1, 2, 3] of [a, b] => print "two" | a :: r => print ("cons " ^ itos a) | _ => print "no"`, "cons 1"},
+		{`case [] of [a] => print "one" | [] => print "empty"`, "empty"},
+		{`case [(1, 2), (3, 4)] of [(a, _), (_, d)] => print (itos (a + d)) | _ => print "no"`, "5"},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src); got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package repligc_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repligc"
+)
+
+func TestQuickstartFacade(t *testing.T) {
+	rt, err := repligc.NewRealTime(repligc.RealTimeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rt.CompileAndRun(`print ("6*7=" ^ itos (6 * 7) ^ "\n")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "6*7=42\n" {
+		t.Fatalf("output %q", out)
+	}
+	rt.Finish()
+	if !strings.Contains(rt.StatsSummary(), "rt:") {
+		t.Errorf("summary: %s", rt.StatsSummary())
+	}
+}
+
+func TestFacadeCollectsUnderPressure(t *testing.T) {
+	rt, err := repligc.NewRealTime(repligc.RealTimeOptions{
+		NurseryBytes:        64 << 10,
+		MajorThresholdBytes: 256 << 10,
+		CopyLimitBytes:      16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rt.CompileAndRun(`
+fun build n acc = if n = 0 then acc else build (n - 1) (n :: acc) in
+fun sum l = case l of [] => 0 | x :: r => x + sum r in
+fun loop k acc = if k = 0 then acc else loop (k - 1) (acc + sum (build 200 [])) in
+print (itos (loop 500 0))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "10050000" {
+		t.Fatalf("output %q", out)
+	}
+	rt.Finish()
+	st := rt.GC.Stats()
+	if st.MinorCollections == 0 || st.MajorCollections == 0 {
+		t.Fatalf("collections: %d minor, %d major", st.MinorCollections, st.MajorCollections)
+	}
+}
+
+func TestStopCopyFacadeMatchesRealTime(t *testing.T) {
+	prog := `
+fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) in
+print (itos (fib 18))`
+	rt, _ := repligc.NewRealTime(repligc.RealTimeOptions{})
+	sc, _ := repligc.NewStopCopy(0, 0)
+	a, err := rt.CompileAndRun(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.CompileAndRun(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("outputs differ: %q vs %q", a, b)
+	}
+}
+
+func TestCompileErrorSurfaces(t *testing.T) {
+	rt, _ := repligc.NewRealTime(repligc.RealTimeOptions{})
+	if _, err := rt.CompileAndRun(`nonexistent_variable`); err == nil {
+		t.Fatal("expected compile error")
+	}
+}
+
+func TestSampleProgramsRun(t *testing.T) {
+	cases := []struct {
+		file    string
+		prelude bool
+		want    string // substring of the expected output
+	}{
+		{"examples/miniml/sieve.ml", false, "2 3 5 7 11"},
+		{"examples/miniml/queens.ml", true, "queens 8 -> 92"},
+		{"examples/miniml/life.ml", true, "alive after 30 generations: 5"},
+		{"examples/miniml/huffman.ml", true, "weighted code length: 13195"},
+	}
+	for _, c := range cases {
+		src, err := os.ReadFile(c.file)
+		if err != nil {
+			t.Fatalf("%s: %v", c.file, err)
+		}
+		text := string(src)
+		if c.prelude {
+			text = repligc.Prelude + text
+		}
+		rt, err := repligc.NewRealTime(repligc.RealTimeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := rt.CompileAndRun(text)
+		if err != nil {
+			t.Fatalf("%s: %v", c.file, err)
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%s: output %q missing %q", c.file, out, c.want)
+		}
+	}
+}
