@@ -1,15 +1,25 @@
 # repligc — common tasks. Everything is stdlib-only and offline.
 
-.PHONY: all build test bench experiments quick-experiments examples clean
+.PHONY: all build lint test race bench experiments quick-experiments examples clean
 
-all: build test
+all: build lint test
 
 build:
 	go build ./...
 	go vet ./...
 
+# The repository's invariant linter (cmd/gclint): write-barrier discipline,
+# from-space forwarding hygiene, simulated-clock-only timing, deterministic
+# iteration, dispatch exhaustiveness. See DESIGN.md, "Machine-checked
+# invariants".
+lint:
+	go run ./cmd/gclint ./...
+
 test:
 	go test ./...
+
+race:
+	go test -race ./...
 
 # One testing.B benchmark per paper table/figure, at the quick scale.
 bench:

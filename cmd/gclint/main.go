@@ -1,0 +1,65 @@
+// Command gclint is the repository's invariant linter: a stdlib-only static
+// analyzer that enforces the discipline the replication collector's
+// correctness rests on — the logging write barrier, the from-space
+// invariant's forwarding hygiene, simulated-clock-only timing, deterministic
+// iteration, and dispatch exhaustiveness. See DESIGN.md, "Machine-checked
+// invariants", for the rule ↔ paper-invariant catalogue.
+//
+// Usage:
+//
+//	gclint [-rules] [packages]
+//
+// Packages default to ./... relative to the module root. The exit status is
+// 0 when the tree is clean, 1 when violations are found, and 2 on usage or
+// load errors. Violations can be suppressed, one site at a time, with
+//
+//	//gclint:allow rule[,rule] -- reason why this site is correct
+//
+// on the offending line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repligc/internal/analysis"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list the rules and exit")
+	flag.Parse()
+
+	rules := analysis.DefaultRules()
+	if *listRules {
+		for _, r := range rules {
+			fmt.Printf("%-12s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gclint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gclint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, rules)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gclint: %d violation(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

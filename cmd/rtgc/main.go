@@ -125,7 +125,7 @@ func main() {
 	if *census {
 		fmt.Fprintf(os.Stderr, "\n--- live-object census ---\n")
 		c := h.Census(&h.Nursery, h.OldFrom())
-		for k := heap.KindRecord; k <= heap.KindBytes; k++ {
+		for k := heap.KindRecord; k <= heap.KindMax; k++ {
 			if e, ok := c[k]; ok {
 				fmt.Fprintf(os.Stderr, "%-8s %8d objects %10.1f KB\n", k, e.Count, float64(e.Bytes)/1024)
 			}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallClockRule bans the host's wall clock from simulation-governed
+// packages. Every "time" measurement in the system is a function of work
+// charged to the simulated simtime.Clock, which is what makes runs
+// bit-for-bit reproducible across machines and across collector
+// configurations (the paper's §4.2 replay methodology depends on it). A
+// single time.Now or time.Sleep smuggled into the simulation would couple
+// results to the host scheduler.
+type WallClockRule struct{}
+
+// Name implements Rule.
+func (*WallClockRule) Name() string { return "wallclock" }
+
+// Doc implements Rule.
+func (*WallClockRule) Doc() string {
+	return "simulation-governed packages must charge simtime.Clock, never read the wall clock"
+}
+
+// wallClockFuncs are the package-time functions that observe or depend on
+// real time.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Appraise implements Rule.
+func (r *WallClockRule) Appraise(pass *Pass) {
+	if !strings.HasPrefix(pass.Pkg.Path, "repligc/internal/") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"time.%s in a simulation-governed package: all timing must advance the simulated clock (simtime.Clock.Charge) so runs stay bit-for-bit reproducible",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// MapRangeRule flags range loops over maps in non-test code. Go randomises
+// map iteration order per run, so any map range whose effects reach a
+// recorded table, a policy script or program output breaks the bit-for-bit
+// replay the experiments depend on (paper §4.2). Order-insensitive
+// iterations (pure tallies) can be allowlisted with an annotation stating
+// why.
+type MapRangeRule struct{}
+
+// Name implements Rule.
+func (*MapRangeRule) Name() string { return "maprange" }
+
+// Doc implements Rule.
+func (*MapRangeRule) Doc() string {
+	return "map iteration order is random; deterministic code must iterate sorted keys"
+}
+
+// Appraise implements Rule.
+func (r *MapRangeRule) Appraise(pass *Pass) {
+	p := pass.Pkg.Path
+	if p != "repligc" &&
+		!strings.HasPrefix(p, "repligc/internal/") &&
+		!strings.HasPrefix(p, "repligc/cmd/") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over a map iterates in random order and breaks bit-for-bit reproducibility; iterate sorted keys (or allowlist with the reason the order cannot matter)")
+			return true
+		})
+	}
+}

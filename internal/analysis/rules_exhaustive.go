@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveRule enforces dispatch completeness over the system's enum-like
+// types: every bytecode opcode must be handled by the VM dispatch switch,
+// every heap.Kind by the kind-property dispatches the collector scan loops
+// key off, and so on. A new constant added without extending the dispatch
+// sites would otherwise fail silently at runtime (an opcode falling into the
+// "illegal instruction" default, a kind scanned with the wrong pointer
+// discipline).
+//
+// Two switch shapes are checked:
+//
+//   - a switch annotated with //gclint:dispatch (the designated dispatch
+//     site) must list every constant of the tag type in its cases, even if
+//     it also has a default clause for corruption handling;
+//   - an unannotated switch with no default clause must be exhaustive —
+//     otherwise unlisted constants fall through to nothing.
+//
+// Switches with a default clause and no annotation are deliberate partial
+// matches and are left alone.
+type ExhaustiveRule struct{}
+
+// Name implements Rule.
+func (*ExhaustiveRule) Name() string { return "exhaustive" }
+
+// Doc implements Rule.
+func (*ExhaustiveRule) Doc() string {
+	return "dispatch switches over Op/BinOp/Kind/Account must handle every declared constant"
+}
+
+// dispatchMarker designates a switch as a dispatch site that must stay
+// exhaustive even though it carries a default clause.
+const dispatchMarker = "//gclint:dispatch"
+
+// watchedEnums are the enum-like types whose constants participate in
+// dispatch. Sentinel constants (unexported num* counters) are ignored.
+var watchedEnums = []struct{ pkg, name string }{
+	{"repligc/internal/bytecode", "Op"},
+	{"repligc/internal/bytecode", "BinOp"},
+	{"repligc/internal/heap", "Kind"},
+	{"repligc/internal/simtime", "Account"},
+}
+
+// Appraise implements Rule.
+func (r *ExhaustiveRule) Appraise(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		markers := dispatchMarkerLines(pass.Pkg, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named := watchedEnum(tv.Type)
+			if named == nil {
+				return true
+			}
+			line := pass.Pkg.Fset.Position(sw.Pos()).Line
+			marked := markers[line] || markers[line-1]
+			covered, hasDefault := coveredConstants(pass.Pkg.Info, sw)
+			if !marked && hasDefault {
+				return true
+			}
+			missing := missingConstants(named, covered)
+			if len(missing) == 0 {
+				return true
+			}
+			site := "switch with no default clause"
+			if marked {
+				site = "dispatch switch"
+			}
+			pass.Reportf(sw.Pos(), "%s over %s does not handle %s",
+				site, typeString(named), strings.Join(missing, ", "))
+			return true
+		})
+	}
+}
+
+// dispatchMarkerLines maps source lines carrying a //gclint:dispatch comment.
+func dispatchMarkerLines(pkg *Package, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == dispatchMarker {
+				out[pkg.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// watchedEnum returns t as a watched named enum type, or nil.
+func watchedEnum(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return nil
+	}
+	for _, w := range watchedEnums {
+		if named.Obj().Pkg().Path() == w.pkg && named.Obj().Name() == w.name {
+			return named
+		}
+	}
+	return nil
+}
+
+func typeString(named *types.Named) string {
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// coveredConstants collects the constant values listed in sw's case clauses
+// and reports whether sw has a default clause.
+func coveredConstants(info *types.Info, sw *ast.SwitchStmt) (map[string]bool, bool) {
+	covered := make(map[string]bool)
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	return covered, hasDefault
+}
+
+// missingConstants lists (by name, in numeric-value order) the constants of
+// the enum's package whose values are absent from covered. Constants sharing
+// a value (aliases like heap.KindMax) count as one: covering either covers
+// both.
+func missingConstants(named *types.Named, covered map[string]bool) []string {
+	scope := named.Obj().Pkg().Scope()
+	nameOf := make(map[string]string) // constant value -> first declared name
+	var values []string
+	for _, name := range scope.Names() { // Names() is sorted: deterministic
+		if strings.HasPrefix(name, "num") {
+			continue // sentinel counters
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v := c.Val().ExactString()
+		if _, seen := nameOf[v]; !seen {
+			nameOf[v] = name
+			values = append(values, v)
+		}
+	}
+	sort.Slice(values, func(i, j int) bool {
+		av, aok := parseInt(values[i])
+		bv, bok := parseInt(values[j])
+		if aok && bok {
+			return av < bv
+		}
+		return values[i] < values[j]
+	})
+	var missing []string
+	for _, v := range values {
+		if !covered[v] {
+			missing = append(missing, nameOf[v])
+		}
+	}
+	return missing
+}
+
+// parseInt parses a decimal constant value as written by ExactString.
+func parseInt(s string) (int64, bool) {
+	var v int64
+	neg := false
+	i := 0
+	if i < len(s) && s[i] == '-' {
+		neg = true
+		i++
+	}
+	if i == len(s) {
+		return 0, false
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(s[i]-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}

@@ -1,0 +1,12 @@
+// Package fixbadallow exercises annotation validation: an allow without a
+// reason is itself a diagnostic, and does not suppress the violation.
+package fixbadallow
+
+func bad(m map[int]int) int {
+	n := 0
+	//gclint:allow maprange
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

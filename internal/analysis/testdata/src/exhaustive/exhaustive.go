@@ -1,0 +1,54 @@
+// Package fixexhaustive exercises the exhaustive rule over the watched enum
+// types: marked dispatch switches and default-less switches must cover every
+// constant; unmarked switches with a default are deliberate partial matches.
+package fixexhaustive
+
+import (
+	"repligc/internal/bytecode"
+	"repligc/internal/heap"
+)
+
+// A designated dispatch site must be exhaustive even with a default clause.
+func dispatch(k heap.Kind) int {
+	//gclint:dispatch
+	switch k {
+	case heap.KindRecord, heap.KindClosure:
+		return 1
+	case heap.KindString:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// A default-less switch silently drops unlisted constants.
+func noDefault(op bytecode.BinOp) bool {
+	switch op {
+	case bytecode.BinAdd, bytecode.BinSub, bytecode.BinMul:
+		return true
+	}
+	return false
+}
+
+// An unmarked switch with a default is a deliberate partial match: not flagged.
+func partial(k heap.Kind) bool {
+	switch k {
+	case heap.KindBytes:
+		return true
+	default:
+		return false
+	}
+}
+
+// Covering every constant satisfies the rule; KindMax aliases KindBytes, so
+// listing KindBytes covers both.
+func full(k heap.Kind) bool {
+	//gclint:dispatch
+	switch k {
+	case heap.KindRecord, heap.KindClosure, heap.KindString:
+		return false
+	case heap.KindRef, heap.KindArray, heap.KindBytes:
+		return true
+	}
+	return false
+}

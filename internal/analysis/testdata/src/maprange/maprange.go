@@ -1,0 +1,29 @@
+// Package fixmaprange exercises the maprange rule: ranging over a map
+// iterates in random order and is flagged in deterministic code.
+package fixmaprange
+
+import "sort"
+
+type tally map[string]int
+
+func bad(m map[string]int, t tally) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	for k := range t { // named map types are maps too
+		sum += len(k)
+	}
+	return sum
+}
+
+// Iterating sorted keys is the sanctioned pattern.
+func fine(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//gclint:allow maprange -- keys are sorted before use; collection order cannot matter
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,14 @@
+// Package fixwallclock exercises the wallclock rule: host-time functions are
+// banned from simulation-governed packages.
+package fixwallclock
+
+import "time"
+
+func tick() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// Pure duration arithmetic does not observe the wall clock and is fine.
+func fine() time.Duration { return 3 * time.Second }

@@ -48,7 +48,7 @@ func AuditHeap(m *Mutator) error {
 			}
 			hdr = h.HeaderOf(v)
 		}
-		if hdr.Kind() >= heap.KindBytes+1 {
+		if hdr.Kind() > heap.KindMax {
 			return fmt.Errorf("audit: object %v has invalid kind %d", v, hdr.Kind())
 		}
 		if hdr.SizeWords() <= 0 || hdr.SizeBytes() > 1<<30 {
@@ -74,5 +74,126 @@ func AuditHeap(m *Mutator) error {
 			firstErr = err
 		}
 	})
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if sc, ok := m.GC.(ScanAuditor); ok {
+		return sc.AuditScanned(m)
+	}
+	return nil
+}
+
+// ScanAuditor is implemented by collectors that can verify their own
+// incremental-scan invariants beyond the structural checks above; AuditHeap
+// invokes it after the graph walk succeeds.
+type ScanAuditor interface {
+	AuditScanned(m *Mutator) error
+}
+
+// AuditScanned verifies the replication collector's tricolor discipline: an
+// object the scan has finished with (black) must not reference anything the
+// scan is supposed to have already redirected. Concretely, a fully scanned
+// minor replica holds no nursery pointers, and a fully traced major to-space
+// object holds no old from-space pointers — except through the collector's
+// own deferred-work records (pending mutable copies, queued flip fixups, and
+// mutations logged since the relevant cursor, all of which are re-pointed no
+// later than the flip).
+func (c *Replicating) AuditScanned(m *Mutator) error {
+	h := c.h
+	if c.minorActive {
+		// Slots allowed to keep nursery pointers: deferred mutable copies
+		// (§2.5), logged minor roots awaiting the flip, and entries the log
+		// cursor has not reached yet.
+		except := make(map[fixup]bool)
+		for _, f := range c.pendingMut {
+			except[f] = true
+		}
+		addSeq := func(seq int64) {
+			if seq < m.Log.Base() {
+				return
+			}
+			if e := m.Log.At(seq); !e.Byte {
+				except[fixup{obj: e.Obj, slot: e.Slot}] = true
+			}
+		}
+		for _, seq := range c.minorRootSeqs {
+			addSeq(seq)
+		}
+		for seq := c.minorLogCursor; seq < m.Log.Len(); seq++ {
+			addSeq(seq)
+		}
+		// Mutator-owned objects inside the region (oversized allocations)
+		// were stepped over, not scanned.
+		skipAt := make(map[uint64]uint64)
+		for _, sp := range c.skips {
+			skipAt[sp.start] = sp.words
+		}
+		for idx := c.minorScanStart; idx < c.scan; {
+			if w, ok := skipAt[idx]; ok {
+				idx += w
+				continue
+			}
+			raw := h.Arena[idx]
+			if !heap.IsHeader(raw) {
+				return fmt.Errorf("audit: scanned minor region holds a forwarded header at word %#x", idx)
+			}
+			hdr := heap.Header(raw)
+			p := heap.Value((idx + 1) << 3)
+			if hdr.Kind().HasPointers() {
+				for i := 0; i < hdr.Len(); i++ {
+					v := h.Load(p, i)
+					if h.Nursery.Contains(v) && !except[fixup{obj: p, slot: int32(i)}] {
+						return fmt.Errorf("audit: scanned replica %v slot %d still holds nursery pointer %v", p, i, v)
+					}
+				}
+			}
+			idx += uint64(hdr.SizeWords())
+		}
+	}
+	if c.majorActive {
+		pending := make(map[heap.Value]bool)
+		for _, q := range c.grayQ {
+			pending[q] = true
+		}
+		// Slots allowed to keep from-space pointers: queued mutable-reference
+		// fixups (re-pointed at the major flip) and mutations the major log
+		// cursor has not reached yet.
+		except := make(map[fixup]bool)
+		for _, f := range c.fixups {
+			except[f] = true
+		}
+		for seq := c.majorLogCursor; seq < m.Log.Len(); seq++ {
+			if seq < m.Log.Base() {
+				continue
+			}
+			if e := m.Log.At(seq); !e.Byte {
+				except[fixup{obj: e.Obj, slot: e.Slot}] = true
+			}
+		}
+		var err error
+		h.WalkObjects(h.OldTo(), func(p heap.Value, hdr heap.Header) bool {
+			idx := uint64(p)>>3 - h.OldTo().Lo
+			if c.graySeen[idx/64]&(1<<(idx%64)) == 0 {
+				return true // white or unreached: the scan owes it nothing yet
+			}
+			if pending[p] || p == c.grayCur {
+				return true // gray: queued or interrupted mid-object
+			}
+			if !hdr.Kind().HasPointers() {
+				return true
+			}
+			for i := 0; i < hdr.Len(); i++ {
+				v := h.Load(p, i)
+				if h.OldFrom().Contains(v) && !except[fixup{obj: p, slot: int32(i)}] {
+					err = fmt.Errorf("audit: black to-space object %v slot %d holds from-space pointer %v", p, i, v)
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -275,5 +275,14 @@ func (m *Mutator) AllocString(b []byte) heap.Value {
 // AllocBytes allocates a mutable byte array of n bytes (zeroed).
 func (m *Mutator) AllocBytes(n int) heap.Value { return m.Alloc(heap.KindBytes, n) }
 
+// Bytes copies the payload of a byte-kind object into a fresh Go slice; the
+// getheader cost of reading the length is charged like any other header
+// check. This is the mutator-facing counterpart of Heap.Bytes, which client
+// code must not call directly (gclint rule "barrier").
+func (m *Mutator) Bytes(p heap.Value) []byte {
+	m.Clock.Charge(simtime.AcctHeaderCheck, m.Cost.HeaderCheck)
+	return m.H.Bytes(p)
+}
+
 // GoString copies a string object's payload out as a Go string.
-func (m *Mutator) GoString(p heap.Value) string { return string(m.H.Bytes(p)) }
+func (m *Mutator) GoString(p heap.Value) string { return string(m.Bytes(p)) }

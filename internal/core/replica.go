@@ -160,11 +160,12 @@ type Replicating struct {
 	// through an explicit gray worklist instead of a linear cursor, so
 	// objects that are promoted during the major and die before being
 	// reached cost it nothing — neither copying nor fixups.
-	scan         uint64 // minor cursor (fresh promotions this cycle)
-	scanSlot     int    // resume slot within the object at the cursor
-	skips        []span // mutator-owned objects inside the minor scan region
-	minorSkipIdx int
-	pendingMut   []fixup // replica slots holding deferred mutable nursery refs (§2.5)
+	scan           uint64 // minor cursor (fresh promotions this cycle)
+	scanSlot       int    // resume slot within the object at the cursor
+	minorScanStart uint64 // cycle's first promoted word (audit: scanned region)
+	skips          []span // mutator-owned objects inside the minor scan region
+	minorSkipIdx   int
+	pendingMut     []fixup // replica slots holding deferred mutable nursery refs (§2.5)
 
 	grayQ    []heap.Value // to-space objects pending a major scan
 	graySeen []uint64     // bitset over old-to word indices: queued already
@@ -418,6 +419,7 @@ func (c *Replicating) startMinor(m *Mutator) {
 	// to earlier cycles (and, during a major, to the major scan).
 	c.scan = c.PromoteSpace().Next
 	c.scanSlot = 0
+	c.minorScanStart = c.scan
 	c.minorSkipIdx = len(c.skips)
 }
 

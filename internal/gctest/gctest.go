@@ -149,7 +149,12 @@ func (d *Driver) mutate() {
 		return
 	}
 	p := d.roots.slots[i]
+	//gclint:dispatch
 	switch sh.Node.Kind {
+	case heap.KindRecord, heap.KindClosure, heap.KindString:
+		// Immutable kinds cannot be mutated; a new kind added to the heap
+		// must be classified here explicitly (gclint rule "exhaustive").
+		return
 	case heap.KindRef, heap.KindArray:
 		if len(sh.Node.Words) == 0 {
 			return

@@ -18,6 +18,10 @@ const (
 	numKinds
 )
 
+// KindMax is the largest valid Kind. Heap audits reject headers whose kind
+// field exceeds it (corrupted or misparsed descriptors).
+const KindMax = numKinds - 1
+
 var kindNames = [numKinds]string{"record", "closure", "string", "ref", "array", "bytes"}
 
 // String returns the kind's name.
@@ -29,12 +33,34 @@ func (k Kind) String() string {
 }
 
 // Mutable reports whether objects of this kind can be mutated after
-// initialisation.
-func (k Kind) Mutable() bool { return k == KindRef || k == KindArray || k == KindBytes }
+// initialisation. The switch is exhaustiveness-checked (gclint rule
+// "exhaustive"): a new kind must be classified here before it compiles
+// cleanly, because the collector's logging obligations depend on it.
+func (k Kind) Mutable() bool {
+	//gclint:dispatch
+	switch k {
+	case KindRef, KindArray, KindBytes:
+		return true
+	case KindRecord, KindClosure, KindString:
+		return false
+	}
+	panic(fmt.Sprintf("heap: Mutable on invalid kind %d", int(k)))
+}
 
 // HasPointers reports whether the payload words of this kind can contain
-// heap pointers and therefore must be scanned.
-func (k Kind) HasPointers() bool { return k != KindString && k != KindBytes }
+// heap pointers and therefore must be scanned. Exhaustiveness-checked like
+// Mutable: misclassifying a new kind here would make the collector skip (or
+// misparse) its payload.
+func (k Kind) HasPointers() bool {
+	//gclint:dispatch
+	switch k {
+	case KindRecord, KindClosure, KindRef, KindArray:
+		return true
+	case KindString, KindBytes:
+		return false
+	}
+	panic(fmt.Sprintf("heap: HasPointers on invalid kind %d", int(k)))
+}
 
 // Header is an object descriptor word. Like SML/NJ descriptors it always has
 // bit 0 set, so that an even word in the header slot is unambiguously a
