@@ -29,6 +29,7 @@ func main() {
 	nKB := flag.Int64("n", 200, "nursery size N in KB")
 	oKB := flag.Int64("o", 1024, "major threshold O in KB")
 	lKB := flag.Int64("l", 100, "copy limit L in KB (incremental configurations)")
+	oldMB := flag.Int64("old", 96, "old-space semispace size in MB")
 	stats := flag.Bool("stats", true, "print collector statistics after the run")
 	disasm := flag.Bool("S", false, "print the compiled bytecode instead of running")
 	census := flag.Bool("census", false, "print a live-object census by kind after the run")
@@ -38,6 +39,10 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rtgc [flags] program.ml")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *nKB <= 0 || *oKB <= 0 || *lKB <= 0 || *oldMB <= 0 {
+		fmt.Fprintln(os.Stderr, "rtgc: -n, -o, -l and -old must be positive")
 		os.Exit(2)
 	}
 
@@ -50,7 +55,7 @@ func main() {
 	h := heap.New(heap.Config{
 		NurseryBytes:    *nKB << 10,
 		NurseryCapBytes: 32 << 20,
-		OldSemiBytes:    96 << 20,
+		OldSemiBytes:    *oldMB << 20,
 	})
 	policy := core.LogAllMutations
 	if *gcName == "sc" {
@@ -95,7 +100,9 @@ func main() {
 	machine := vm.New(m, prog)
 	runErr := machine.Run()
 	os.Stdout.Write(machine.Output.Bytes())
-	gc.FinishCycles(m)
+	if err := gc.FinishCycles(m); err != nil && runErr == nil {
+		runErr = err
+	}
 
 	if *trace != "" {
 		if err := os.WriteFile(*trace, []byte(gc.Pauses().CSV()), 0o644); err != nil {
@@ -104,6 +111,9 @@ func main() {
 		}
 	}
 	if runErr != nil {
+		// Every program-level failure — MiniML runtime errors and heap
+		// exhaustion (the typed core.OOMError) alike — is one diagnostic
+		// line and exit status 1, never a Go panic traceback.
 		fmt.Fprintf(os.Stderr, "rtgc: %v\n", runErr)
 		os.Exit(1)
 	}

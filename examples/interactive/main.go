@@ -43,7 +43,7 @@ const (
 func frame(m *repligc.Mutator, a *app, n int) {
 	// A burst of short-lived event records...
 	for i := 0; i < 300; i++ {
-		ev := m.Alloc(heap.KindRecord, 3)
+		ev := m.MustAlloc(heap.KindRecord, 3)
 		m.Init(ev, 0, heap.FromInt(int64(n)))
 		m.Init(ev, 1, heap.FromInt(int64(i)))
 		m.Init(ev, 2, heap.Nil)
@@ -54,7 +54,7 @@ func frame(m *repligc.Mutator, a *app, n int) {
 	// exactly the kind of old→new pointer the mutation log exists for.
 	slot := n % windowSlots
 	a.tmp = m.Get(a.window, slot)
-	node := m.Alloc(heap.KindRecord, 64)
+	node := m.MustAlloc(heap.KindRecord, 64)
 	m.Init(node, 0, heap.FromInt(int64(n)))
 	m.Init(node, 1, a.tmp)
 	for i := 2; i < 64; i++ {
@@ -72,7 +72,7 @@ func frame(m *repligc.Mutator, a *app, n int) {
 func run(name string, rt *repligc.Runtime) {
 	a := &app{}
 	rt.Mutator.Roots.Register(a)
-	a.window = rt.Mutator.Alloc(heap.KindArray, windowSlots)
+	a.window = rt.Mutator.MustAlloc(heap.KindArray, windowSlots)
 	for n := 0; n < frames; n++ {
 		frame(rt.Mutator, a, n)
 	}

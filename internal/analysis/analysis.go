@@ -69,6 +69,7 @@ func DefaultRules() []Rule {
 		&MapRangeRule{},
 		&ExhaustiveRule{},
 		&ForwardRule{},
+		&PanicPathRule{},
 	}
 }
 

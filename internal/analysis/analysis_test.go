@@ -27,6 +27,8 @@ var goldenCases = []struct {
 	// Masquerades as a collector package: forwarding access is legal there
 	// except on the raw read path (Get*/Load* functions).
 	{"forwardheap", "repligc/internal/stopcopy"},
+	// Masquerades as a collector package: bare panics are flagged there.
+	{"panicpath", "repligc/internal/heap"},
 	{"clean", "repligc/internal/fixclean"},
 	{"badallow", "repligc/internal/fixbadallow"},
 }

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicPathRule reserves panic, inside the collector packages, for genuine
+// invariant violations. The robustness contract (DESIGN.md, "Failure model
+// and fault injection") is that running out of memory is a runtime
+// condition, not a bug: every resource-exhaustion path must degrade and
+// then surface the typed *core.OOMError, never unwind the host program.
+// A panic that really does guard an invariant — a corrupted header, a
+// cursor past the log's low-water mark — must be allowlisted with the
+// invariant spelled out as the reason, which keeps each such site an
+// explicit, reviewed claim.
+type PanicPathRule struct{}
+
+// Name implements Rule.
+func (*PanicPathRule) Name() string { return "panicpath" }
+
+// Doc implements Rule.
+func (*PanicPathRule) Doc() string {
+	return "collector packages reserve panic for invariant violations; exhaustion paths must return typed errors"
+}
+
+// Appraise implements Rule.
+func (r *PanicPathRule) Appraise(pass *Pass) {
+	if !collectorPkgs[pass.Pkg.Path] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"panic in a collector package: resource exhaustion must surface as a typed *core.OOMError (degrade, then return); if this site guards a genuine invariant, allowlist it with the invariant as the reason")
+			return true
+		})
+	}
+}

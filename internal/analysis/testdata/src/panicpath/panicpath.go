@@ -1,0 +1,21 @@
+// Package panicpath exercises the panicpath rule. The fixture masquerades
+// as a collector package: a bare panic is flagged (resource exhaustion must
+// return a typed error), while an annotated invariant panic is allowed.
+package panicpath
+
+// allocFrom is an exhaustion path: it must return an error, not panic.
+func allocFrom(free, need int) int {
+	if need > free {
+		panic("out of memory")
+	}
+	return free - need
+}
+
+// checkHeader is an invariant check: the annotated panic is acceptable.
+func checkHeader(raw uint64) uint64 {
+	if raw == 0 {
+		//gclint:allow panicpath -- invariant: callers never pass a zero header word
+		panic("corrupt header")
+	}
+	return raw
+}

@@ -70,6 +70,13 @@ type RunConfig struct {
 	Replay *policy.Script
 	// Cost overrides the cost model; zero value means Default1993.
 	Cost simtime.CostModel
+	// OldSemiBytes overrides the old-generation semispace size; zero means
+	// the paper's 96 MB. The exhaustion-matrix tests tighten this until
+	// the collectors run out of memory.
+	OldSemiBytes int64
+	// NurseryCapBytes overrides the nursery growth bound; zero derives it
+	// from N as before.
+	NurseryCapBytes int64
 }
 
 // Result is everything measured in one run.
@@ -88,22 +95,38 @@ type Result struct {
 	Output         string
 }
 
-// Run executes workload w under rc and returns the measurements.
-func Run(w Workload, rc RunConfig) (*Result, error) {
+// Runtime is one constructed heap + mutator + collector, ready to run a
+// workload. Tests that need to observe a run's state after a failure (the
+// exhaustion matrix) build one directly instead of going through Run.
+type Runtime struct {
+	Heap    *heap.Heap
+	Mutator *core.Mutator
+	GC      core.Collector
+}
+
+// NewRuntime constructs the runtime rc describes without running anything.
+func NewRuntime(rc RunConfig) (*Runtime, error) {
 	cost := rc.Cost
 	if cost == (simtime.CostModel{}) {
 		cost = simtime.Default1993()
 	}
 
 	// The nursery cap must accommodate replayed deltas (N plus expansion).
-	nurseryCap := 16 * rc.Params.NBytes
-	if nurseryCap < 16<<20 {
-		nurseryCap = 16 << 20
+	nurseryCap := rc.NurseryCapBytes
+	if nurseryCap == 0 {
+		nurseryCap = 16 * rc.Params.NBytes
+		if nurseryCap < 16<<20 {
+			nurseryCap = 16 << 20
+		}
+	}
+	oldSemi := rc.OldSemiBytes
+	if oldSemi == 0 {
+		oldSemi = 96 << 20
 	}
 	h := heap.New(heap.Config{
 		NurseryBytes:    rc.Params.NBytes,
 		NurseryCapBytes: nurseryCap,
-		OldSemiBytes:    96 << 20,
+		OldSemiBytes:    oldSemi,
 	})
 
 	logPolicy := core.LogAllMutations
@@ -147,12 +170,24 @@ func Run(w Workload, rc RunConfig) (*Result, error) {
 		return nil, fmt.Errorf("bench: unknown configuration %q", rc.Config)
 	}
 	m.AttachGC(gc)
+	return &Runtime{Heap: h, Mutator: m, GC: gc}, nil
+}
+
+// Run executes workload w under rc and returns the measurements.
+func Run(w Workload, rc RunConfig) (*Result, error) {
+	rt, err := NewRuntime(rc)
+	if err != nil {
+		return nil, err
+	}
+	m, gc := rt.Mutator, rt.GC
 
 	out, err := w.Run(m)
 	if err != nil {
 		return nil, err
 	}
-	gc.FinishCycles(m)
+	if err := gc.FinishCycles(m); err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Workload:       w.Name(),

@@ -247,7 +247,9 @@ func (w *compWorkload) Run(m *core.Mutator) (string, error) {
 				n += len(b.Code)
 			}
 			instrs += n
-			loaded.load(m, prog, n)
+			if err := loaded.load(m, prog, n); err != nil {
+				return "", fmt.Errorf("Comp: module %d: %w", i, err)
+			}
 		}
 	}
 	return fmt.Sprintf("compiled blocks=%d instrs=%d\n", blocks, instrs), nil
@@ -255,12 +257,16 @@ func (w *compWorkload) Run(m *core.Mutator) (string, error) {
 
 // load writes the module's encoded code into a fresh heap segment and
 // retains it in the ring, evicting the oldest module's segment.
-func (l *loadedCode) load(m *core.Mutator, prog *bytecode.Program, instrs int) {
+func (l *loadedCode) load(m *core.Mutator, prog *bytecode.Program, instrs int) error {
 	if instrs == 0 {
-		return
+		return nil
 	}
 	slot := l.next
-	l.segs[slot] = m.Alloc(heap.KindBytes, instrs*bytecode.EncodedSize)
+	seg, err := m.Alloc(heap.KindBytes, instrs*bytecode.EncodedSize)
+	if err != nil {
+		return err
+	}
+	l.segs[slot] = seg
 	l.next = (l.next + 1) % len(l.segs)
 	var chunk [16 * bytecode.EncodedSize]byte
 	off, used := 0, 0
@@ -284,6 +290,7 @@ func (l *loadedCode) load(m *core.Mutator, prog *bytecode.Program, instrs int) {
 	}
 	flush()
 	m.Step(instrs)
+	return nil
 }
 
 // GenerateModule produces a deterministic MiniML module of roughly n

@@ -42,7 +42,7 @@ func mustAuditError(t *testing.T, m *Mutator, want string) {
 
 func TestAuditRejectsOutOfRangeKind(t *testing.T) {
 	m, _ := auditMutator(t, Config{NurseryBytes: 128 << 10})
-	p := m.Alloc(heap.KindRecord, 2)
+	p := m.MustAlloc(heap.KindRecord, 2)
 	m.Init(p, 0, heap.FromInt(1))
 	m.Init(p, 1, heap.Nil)
 	m.PushHandle(p)
@@ -58,7 +58,7 @@ func TestAuditRejectsOutOfRangeKind(t *testing.T) {
 
 func TestAuditRejectsNonPointerForwardingWord(t *testing.T) {
 	m, _ := auditMutator(t, Config{NurseryBytes: 128 << 10})
-	p := m.Alloc(heap.KindRecord, 1)
+	p := m.MustAlloc(heap.KindRecord, 1)
 	m.Init(p, 0, heap.Nil)
 	m.PushHandle(p)
 	if err := AuditHeap(m); err != nil {
@@ -74,10 +74,10 @@ func TestAuditRejectsNonPointerForwardingWord(t *testing.T) {
 
 func TestAuditRejectsForwardingOutsideOldGeneration(t *testing.T) {
 	m, _ := auditMutator(t, Config{NurseryBytes: 128 << 10})
-	p := m.Alloc(heap.KindRecord, 1)
+	p := m.MustAlloc(heap.KindRecord, 1)
 	m.Init(p, 0, heap.Nil)
 	m.PushHandle(p)
-	junk := m.Alloc(heap.KindRecord, 1)
+	junk := m.MustAlloc(heap.KindRecord, 1)
 	m.Init(junk, 0, heap.Nil)
 
 	// A forwarding pointer must aim at the old generation; a nursery target
@@ -88,7 +88,7 @@ func TestAuditRejectsForwardingOutsideOldGeneration(t *testing.T) {
 
 func TestAuditRejectsOutOfSpacePointer(t *testing.T) {
 	m, _ := auditMutator(t, Config{NurseryBytes: 128 << 10})
-	p := m.Alloc(heap.KindArray, 2)
+	p := m.MustAlloc(heap.KindArray, 2)
 	m.Init(p, 0, heap.FromInt(7))
 	m.Init(p, 1, heap.Nil)
 	m.PushHandle(p)
@@ -117,13 +117,13 @@ func TestAuditScannedCatchesCorruptMinorReplica(t *testing.T) {
 
 	// A nursery object to use as the smuggled pointer: unrooted, so it is
 	// never replicated, but nursery addresses stay valid until the flip.
-	junk := m.Alloc(heap.KindRecord, 1)
+	junk := m.MustAlloc(heap.KindRecord, 1)
 	m.Init(junk, 0, heap.Nil)
 
 	// High survival: every record is pinned, so the minor collection has far
 	// more than one pause budget's worth of copying and scanning to do.
 	for i := 0; i < 3000; i++ {
-		p := m.Alloc(heap.KindRecord, 3)
+		p := m.MustAlloc(heap.KindRecord, 3)
 		m.Init(p, 0, heap.FromInt(int64(i)))
 		m.Init(p, 1, heap.Nil)
 		m.Init(p, 2, heap.Nil)
@@ -197,7 +197,7 @@ func TestAuditScannedCatchesCorruptBlackObject(t *testing.T) {
 	}
 	var black heap.Value
 	for i := 0; i < 200_000 && black == heap.Nil; i++ {
-		p := m.Alloc(heap.KindRecord, 3)
+		p := m.MustAlloc(heap.KindRecord, 3)
 		m.Init(p, 0, heap.FromInt(int64(i)))
 		m.Init(p, 1, heap.Nil)
 		m.Init(p, 2, heap.Nil)

@@ -12,8 +12,10 @@ type Collector interface {
 	// CollectForAlloc is invoked when the nursery cannot satisfy an
 	// allocation of needWords payload+header words. The collector must
 	// make the allocation possible (collect, flip, or expand the nursery)
-	// or panic with an out-of-memory error.
-	CollectForAlloc(m *Mutator, needWords int)
+	// or return a typed *OOMError once its degradation ladder is spent;
+	// it must never panic on resource exhaustion, and the heap must stay
+	// auditable (AuditHeap) after an error.
+	CollectForAlloc(m *Mutator, needWords int) error
 
 	// AfterAlloc is invoked after every successful nursery allocation so
 	// that replay-driven collectors can trigger collections at recorded
@@ -22,8 +24,9 @@ type Collector interface {
 
 	// FinishCycles drives any in-progress incremental collections to
 	// completion. Benchmarks call it once at the end of a run so that
-	// total copying work is comparable across configurations.
-	FinishCycles(m *Mutator)
+	// total copying work is comparable across configurations. Like
+	// CollectForAlloc it surfaces exhaustion as a typed *OOMError.
+	FinishCycles(m *Mutator) error
 
 	// Stats exposes the collector's counters.
 	Stats() *GCStats
@@ -46,11 +49,27 @@ type GCStats struct {
 	ForcedCompletion int   // incremental collections forced non-incremental
 	NurseryExpansion int64 // bytes of nursery expansion granted (param A)
 
+	// EmergencyCollections counts degradation-ladder activations: pauses
+	// promoted to full stop-the-world completion because the promotion
+	// target's headroom fell below the reservation (nursery contents plus
+	// the promotion high-water mark), or because a failed old-space
+	// allocation requested an emergency major.
+	EmergencyCollections int
+
 	// FlipCopied records the cumulative TotalBytesCopied at each minor
 	// flip. Comparing two runs with synchronized flips at their last
 	// common flip index yields the paper's latent-garbage measurement
 	// (table 3).
 	FlipCopied []int64
+}
+
+// EmergencyCollector is implemented by collectors that can run a
+// last-resort stop-the-world collection — the top rung of the degradation
+// ladder — when a direct old-generation allocation fails. The mutator
+// invokes it once and retries the allocation; only if the retry also
+// fails does the typed error surface.
+type EmergencyCollector interface {
+	CollectEmergency(m *Mutator) error
 }
 
 // TotalBytesCopied is the collector's total copying volume; the difference

@@ -73,6 +73,7 @@ func (l *MutationLog) Base() int64 { return l.base }
 // At returns the entry with sequence number seq, which must be retained.
 func (l *MutationLog) At(seq int64) LogEntry {
 	if seq < l.base || seq >= l.Len() {
+		//gclint:allow panicpath -- invariant: cursors never pass TrimTo's low-water mark
 		panic("core: log sequence out of range")
 	}
 	return l.entries[seq-l.base]

@@ -41,7 +41,7 @@ func BenchmarkAllocSmallRecords(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := m.Alloc(heap.KindRecord, 2)
+		p := m.MustAlloc(heap.KindRecord, 2)
 		m.Init(p, 0, heap.FromInt(int64(i)))
 		m.Init(p, 1, heap.Nil)
 	}
@@ -51,7 +51,7 @@ func BenchmarkAllocSmallRecords(b *testing.B) {
 // BenchmarkWriteBarrier measures the logged store path.
 func BenchmarkWriteBarrier(b *testing.B) {
 	m, _ := benchMutator(rtCfg())
-	arr := m.Alloc(heap.KindArray, 64)
+	arr := m.MustAlloc(heap.KindArray, 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Set(arr, i%64, heap.FromInt(int64(i)))
@@ -65,7 +65,7 @@ func BenchmarkWriteBarrier(b *testing.B) {
 // found unmeasurably cheap.
 func BenchmarkGetHeader(b *testing.B) {
 	m, _ := benchMutator(rtCfg())
-	p := m.Alloc(heap.KindRecord, 3)
+	p := m.MustAlloc(heap.KindRecord, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if m.Header(p).Kind() != heap.KindRecord {
@@ -92,7 +92,7 @@ func BenchmarkMinorCollection(b *testing.B) {
 	}))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := m.Alloc(heap.KindRecord, 30)
+		p := m.MustAlloc(heap.KindRecord, 30)
 		if i%4 == 0 {
 			keep[(i/4)%1024] = p
 		}
@@ -106,9 +106,9 @@ func BenchmarkMinorCollection(b *testing.B) {
 func BenchmarkEqStructural(b *testing.B) {
 	m, _ := benchMutator(rtCfg())
 	mk := func() heap.Value {
-		p := m.Alloc(heap.KindRecord, 2)
+		p := m.MustAlloc(heap.KindRecord, 2)
 		m.Init(p, 0, heap.FromInt(7))
-		m.Init(p, 1, m.AllocString([]byte("hello")))
+		m.Init(p, 1, m.MustAllocString([]byte("hello")))
 		return p
 	}
 	h1 := m.PushHandle(mk())

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repligc/internal/heap"
 	"repligc/internal/simtime"
 )
@@ -66,18 +64,22 @@ func (m *Mutator) Step(n int) {
 // (the concurrent-style pacing of the paper's §6). AllocTax runs at the top
 // of every allocation, before the object exists.
 type Pacer interface {
-	AllocTax(m *Mutator, bytes int64)
+	AllocTax(m *Mutator, bytes int64) error
 }
 
 // Alloc allocates an object of kind k with length field n (words, or bytes
 // for byte kinds) in the nursery, invoking the collector when the nursery
 // is exhausted. Objects too large for the nursery go directly to the old
-// generation, as in SML/NJ.
-func (m *Mutator) Alloc(k heap.Kind, n int) heap.Value {
+// generation, as in SML/NJ. Exhaustion the collector's degradation ladder
+// cannot recover from is reported as a typed *OOMError; the heap stays
+// fully auditable and usable for smaller allocations afterwards.
+func (m *Mutator) Alloc(k heap.Kind, n int) (heap.Value, error) {
 	hdr := heap.MakeHeader(k, n)
 	sizeB := hdr.SizeBytes()
 	if p, ok := m.GC.(Pacer); ok {
-		p.AllocTax(m, sizeB)
+		if err := p.AllocTax(m, sizeB); err != nil {
+			return heap.Nil, err
+		}
 	}
 	// Oversized objects bypass the nursery.
 	if sizeB > m.H.Nursery.LimitBytes()/2 {
@@ -89,12 +91,47 @@ func (m *Mutator) Alloc(k heap.Kind, n int) heap.Value {
 			if m.GC != nil {
 				m.GC.AfterAlloc(m)
 			}
-			return p
+			return p, nil
 		}
 		if m.GC == nil || attempt > 0 {
-			panic(fmt.Sprintf("core: nursery exhausted allocating %s[%d] and collector could not recover", k, n))
+			return heap.Nil, m.oomFor(&m.H.Nursery, hdr, attempt > 0)
 		}
-		m.GC.CollectForAlloc(m, hdr.SizeWords())
+		if err := m.GC.CollectForAlloc(m, hdr.SizeWords()); err != nil {
+			return heap.Nil, err
+		}
+	}
+}
+
+// MustAlloc is Alloc for callers that treat exhaustion as fatal (tests,
+// examples, the MiniML compiler behind its recover boundary). It panics
+// with the typed *OOMError.
+func (m *Mutator) MustAlloc(k heap.Kind, n int) heap.Value {
+	p, err := m.Alloc(k, n)
+	if err != nil {
+		//gclint:allow panicpath -- Must variant: the caller opted into fatal OOM; the value is the typed *OOMError
+		panic(err)
+	}
+	return p
+}
+
+// oomFor builds the typed error for a failed nursery-path allocation.
+func (m *Mutator) oomFor(space *heap.Space, hdr heap.Header, degraded bool) *OOMError {
+	res := OOMNursery
+	if space == &m.H.Nursery && space.Hi == space.Cap {
+		res = OOMExpansion // grown to the hard cap and still too small
+	}
+	name := ""
+	if m.GC != nil {
+		name = m.GC.Name()
+	}
+	return &OOMError{
+		Resource:  res,
+		Collector: name,
+		Space:     space.Name,
+		Request:   hdr.SizeBytes(),
+		Free:      int64(space.FreeWords()) * heap.BytesPerWord,
+		Limit:     space.LimitBytes(),
+		Degraded:  degraded,
 	}
 }
 
@@ -106,22 +143,43 @@ type OldAllocNoter interface {
 
 // allocOld allocates directly in the old generation — into the collector's
 // promotion space, so that during an active major collection the object is
-// born in to-space and never needs major copying.
-func (m *Mutator) allocOld(k heap.Kind, n int) heap.Value {
+// born in to-space and never needs major copying. When the space is full
+// the collector gets one emergency stop-the-world collection (the top rung
+// of the degradation ladder) before the typed error surfaces.
+func (m *Mutator) allocOld(k heap.Kind, n int) (heap.Value, error) {
 	hdr := heap.MakeHeader(k, n)
-	space := m.H.OldFrom()
-	if ps, ok := m.GC.(interface{ PromoteSpace() *heap.Space }); ok {
-		space = ps.PromoteSpace()
+	for attempt := 0; ; attempt++ {
+		space := m.H.OldFrom()
+		if ps, ok := m.GC.(interface{ PromoteSpace() *heap.Space }); ok {
+			space = ps.PromoteSpace()
+		}
+		if p, ok := m.H.AllocIn(space, k, n); ok {
+			m.chargeAlloc(hdr)
+			if rc, ok := m.GC.(OldAllocNoter); ok {
+				rc.NoteOldAlloc(p, hdr)
+			}
+			return p, nil
+		}
+		ec, ok := m.GC.(EmergencyCollector)
+		if !ok || attempt > 0 {
+			name := ""
+			if m.GC != nil {
+				name = m.GC.Name()
+			}
+			return heap.Nil, &OOMError{
+				Resource:  OOMOldSpace,
+				Collector: name,
+				Space:     space.Name,
+				Request:   hdr.SizeBytes(),
+				Free:      int64(space.FreeWords()) * heap.BytesPerWord,
+				Limit:     space.LimitBytes(),
+				Degraded:  attempt > 0,
+			}
+		}
+		if err := ec.CollectEmergency(m); err != nil {
+			return heap.Nil, err
+		}
 	}
-	p, ok := m.H.AllocIn(space, k, n)
-	if !ok {
-		panic(fmt.Sprintf("core: old space exhausted allocating %s[%d]", k, n))
-	}
-	m.chargeAlloc(hdr)
-	if rc, ok := m.GC.(OldAllocNoter); ok {
-		rc.NoteOldAlloc(p, hdr)
-	}
-	return p
 }
 
 func (m *Mutator) chargeAlloc(hdr heap.Header) {
@@ -251,6 +309,7 @@ func (m *Mutator) HandleMark() Handle { return Handle(len(m.handles.slots)) }
 // PopHandles releases every handle at or above mark.
 func (m *Mutator) PopHandles(mark Handle) {
 	if int(mark) > len(m.handles.slots) {
+		//gclint:allow panicpath -- invariant: unbalanced handle stack is caller corruption, not resource exhaustion
 		panic("core: PopHandles beyond stack")
 	}
 	m.handles.slots = m.handles.slots[:mark]
@@ -266,14 +325,37 @@ func (m *Mutator) Collapse(mark Handle, h Handle) Handle {
 }
 
 // AllocString allocates an immutable string holding b.
-func (m *Mutator) AllocString(b []byte) heap.Value {
-	p := m.Alloc(heap.KindString, len(b))
+func (m *Mutator) AllocString(b []byte) (heap.Value, error) {
+	p, err := m.Alloc(heap.KindString, len(b))
+	if err != nil {
+		return heap.Nil, err
+	}
 	m.H.SetBytes(p, b)
+	return p, nil
+}
+
+// MustAllocString is AllocString with MustAlloc's fatal-OOM contract.
+func (m *Mutator) MustAllocString(b []byte) heap.Value {
+	p, err := m.AllocString(b)
+	if err != nil {
+		//gclint:allow panicpath -- Must variant: the caller opted into fatal OOM; the value is the typed *OOMError
+		panic(err)
+	}
 	return p
 }
 
 // AllocBytes allocates a mutable byte array of n bytes (zeroed).
-func (m *Mutator) AllocBytes(n int) heap.Value { return m.Alloc(heap.KindBytes, n) }
+func (m *Mutator) AllocBytes(n int) (heap.Value, error) { return m.Alloc(heap.KindBytes, n) }
+
+// MustAllocBytes is AllocBytes with MustAlloc's fatal-OOM contract.
+func (m *Mutator) MustAllocBytes(n int) heap.Value {
+	p, err := m.AllocBytes(n)
+	if err != nil {
+		//gclint:allow panicpath -- Must variant: the caller opted into fatal OOM; the value is the typed *OOMError
+		panic(err)
+	}
+	return p
+}
 
 // Bytes copies the payload of a byte-kind object into a fresh Go slice; the
 // getheader cost of reading the length is charged like any other header

@@ -21,12 +21,12 @@ func TestBarrierLoggingPolicies(t *testing.T) {
 		h := heap.New(heap.Config{NurseryBytes: 1 << 20, NurseryCapBytes: 2 << 20, OldSemiBytes: 8 << 20})
 		m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), pol)
 
-		obj := m.Alloc(heap.KindArray, 4)
-		target := m.Alloc(heap.KindRecord, 1)
+		obj := m.MustAlloc(heap.KindArray, 4)
+		target := m.MustAlloc(heap.KindRecord, 1)
 		before := m.LogWrites
 		m.Set(obj, 0, target)           // pointer store: always logged
 		m.Set(obj, 1, heap.FromInt(42)) // immediate store: LogAll only
-		bs := m.AllocBytes(8)
+		bs := m.MustAllocBytes(8)
 		m.SetByte(bs, 0, 7) // byte store: LogAll only
 		got := m.LogWrites - before
 
@@ -42,7 +42,7 @@ func TestBarrierLoggingPolicies(t *testing.T) {
 
 func TestSetByteRangeCoalesces(t *testing.T) {
 	m := bareMutator()
-	p := m.AllocBytes(64)
+	p := m.MustAllocBytes(64)
 	before := m.LogWrites
 	data := []byte("hello world, hello world!")
 	m.SetByteRange(p, 3, data)
@@ -64,11 +64,11 @@ func TestSetByteRangeCoalesces(t *testing.T) {
 func TestInitToOldSpaceIsLogged(t *testing.T) {
 	m := bareMutator()
 	// Oversized: bigger than half the nursery goes straight to old space.
-	big := m.Alloc(heap.KindArray, 80<<10) // 640 KB > 512 KB
+	big := m.MustAlloc(heap.KindArray, 80<<10) // 640 KB > 512 KB
 	if !m.H.OldFrom().Contains(big) {
 		t.Fatal("oversized allocation not in old space")
 	}
-	small := m.Alloc(heap.KindRecord, 1)
+	small := m.MustAlloc(heap.KindRecord, 1)
 	before := m.LogWrites
 	m.Init(big, 0, small) // old→new pointer via Init: must be logged
 	if m.LogWrites != before+1 {
@@ -84,7 +84,7 @@ func TestInitToOldSpaceIsLogged(t *testing.T) {
 func TestHandleDiscipline(t *testing.T) {
 	m := bareMutator()
 	mark := m.HandleMark()
-	a := m.PushHandle(m.Alloc(heap.KindRecord, 1))
+	a := m.PushHandle(m.MustAlloc(heap.KindRecord, 1))
 	b := m.PushHandle(heap.FromInt(9))
 	if m.HandleVal(b).Int() != 9 {
 		t.Fatal("handle deref broken")
@@ -112,15 +112,15 @@ func TestHandleDiscipline(t *testing.T) {
 
 func TestPolymorphicEquality(t *testing.T) {
 	m := bareMutator()
-	s1 := m.AllocString([]byte("abc"))
-	s2 := m.AllocString([]byte("abc"))
-	s3 := m.AllocString([]byte("abd"))
+	s1 := m.MustAllocString([]byte("abc"))
+	s2 := m.MustAllocString([]byte("abc"))
+	s3 := m.MustAllocString([]byte("abd"))
 	if !m.Eq(s1, s2) || m.Eq(s1, s3) {
 		t.Fatal("string equality broken")
 	}
 
 	mkPair := func(a, b heap.Value) heap.Value {
-		p := m.Alloc(heap.KindRecord, 2)
+		p := m.MustAlloc(heap.KindRecord, 2)
 		m.Init(p, 0, a)
 		m.Init(p, 1, b)
 		return p
@@ -132,8 +132,8 @@ func TestPolymorphicEquality(t *testing.T) {
 		t.Fatal("structural record equality broken")
 	}
 
-	r1 := m.Alloc(heap.KindRef, 1)
-	r2 := m.Alloc(heap.KindRef, 1)
+	r1 := m.MustAlloc(heap.KindRef, 1)
+	r2 := m.MustAlloc(heap.KindRef, 1)
 	if m.Eq(r1, r2) || !m.Eq(r1, r1) {
 		t.Fatal("ref identity equality broken")
 	}
@@ -141,7 +141,7 @@ func TestPolymorphicEquality(t *testing.T) {
 		t.Fatal("immediate equality broken")
 	}
 	// Different lengths are never equal.
-	if m.Eq(m.AllocString([]byte("ab")), s1) {
+	if m.Eq(m.MustAllocString([]byte("ab")), s1) {
 		t.Fatal("length mismatch compared equal")
 	}
 }
@@ -171,10 +171,10 @@ func TestOversizedDuringActiveCollections(t *testing.T) {
 	// fill it with pointers to fresh nursery objects, and verify later.
 	for round := 0; round < 20; round++ {
 		d.Step(300)
-		big := m.Alloc(heap.KindArray, 2<<10) // 16 KB > half of 16 KB nursery
+		big := m.MustAlloc(heap.KindArray, 2<<10) // 16 KB > half of 16 KB nursery
 		roots.arr = big
 		for i := 0; i < 32; i++ {
-			small := m.Alloc(heap.KindRecord, 1)
+			small := m.MustAlloc(heap.KindRecord, 1)
 			m.Init(small, 0, heap.FromInt(int64(round*100+i)))
 			m.Set(big, i, small)
 		}
@@ -231,15 +231,43 @@ func TestLogTrimming(t *testing.T) {
 	l.At(5)
 }
 
-func TestCollectorlessAllocPanics(t *testing.T) {
+func TestCollectorlessAllocReturnsTypedOOM(t *testing.T) {
+	h := heap.New(heap.Config{NurseryBytes: 8 << 10, NurseryCapBytes: 8 << 10, OldSemiBytes: 1 << 20})
+	m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogAllMutations)
+	for i := 0; i < 10000; i++ {
+		_, err := m.Alloc(heap.KindRecord, 8)
+		if err == nil {
+			continue
+		}
+		oom, ok := core.AsOOM(err)
+		if !ok {
+			t.Fatalf("want *core.OOMError, got %T: %v", err, err)
+		}
+		if oom.Resource != core.OOMNursery && oom.Resource != core.OOMExpansion {
+			t.Fatalf("unexpected exhausted resource %v", oom.Resource)
+		}
+		if err := core.AuditHeap(m); err != nil {
+			t.Fatalf("heap not auditable after OOM: %v", err)
+		}
+		return
+	}
+	t.Fatal("expected out-of-memory error")
+}
+
+func TestMustAllocPanicsWithTypedOOM(t *testing.T) {
 	h := heap.New(heap.Config{NurseryBytes: 8 << 10, NurseryCapBytes: 8 << 10, OldSemiBytes: 1 << 20})
 	m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogAllMutations)
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("expected out-of-memory panic")
+		}
+		err, ok := r.(error)
+		if !ok || !core.IsOOM(err) {
+			t.Fatalf("panic value is not a typed OOM error: %v", r)
 		}
 	}()
 	for i := 0; i < 10000; i++ {
-		m.Alloc(heap.KindRecord, 8)
+		m.MustAlloc(heap.KindRecord, 8)
 	}
 }

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repligc/internal/core"
+	"repligc/internal/gctest"
+	"repligc/internal/heap"
+	"repligc/internal/simtime"
+	"repligc/internal/stopcopy"
+)
+
+// TestFailedAllocLeavesHeapUsable is the robustness property in one
+// sentence: after an arbitrary amount of live churn, an allocation too big
+// for the old generation must fail with the typed *OOMError (degraded,
+// because the emergency collection ran first), the heap must still pass a
+// full audit, the survivor graph must be intact, and a reasonable smaller
+// allocation must succeed.
+func TestFailedAllocLeavesHeapUsable(t *testing.T) {
+	const oldSemi = 512 << 10
+
+	mkReplicating := func() *core.Mutator {
+		h := heap.New(heap.Config{NurseryBytes: 16 << 10, NurseryCapBytes: 64 << 10, OldSemiBytes: oldSemi})
+		m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogAllMutations)
+		m.AttachGC(core.NewReplicating(h, core.Config{
+			NurseryBytes:        16 << 10,
+			MajorThresholdBytes: 128 << 10,
+			CopyLimitBytes:      4 << 10,
+			IncrementalMinor:    true,
+			IncrementalMajor:    true,
+		}))
+		return m
+	}
+	mkStopCopy := func() *core.Mutator {
+		h := heap.New(heap.Config{NurseryBytes: 16 << 10, NurseryCapBytes: 64 << 10, OldSemiBytes: oldSemi})
+		m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogPointersOnly)
+		m.AttachGC(stopcopy.New(h, stopcopy.Config{NurseryBytes: 16 << 10, MajorThresholdBytes: 128 << 10}))
+		return m
+	}
+
+	for _, tc := range []struct {
+		name string
+		mk   func() *core.Mutator
+	}{
+		{"replicating", mkReplicating},
+		{"stopcopy", mkStopCopy},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prop := func(seed int64, churn uint16) bool {
+				m := tc.mk()
+				d := gctest.NewDriver(m, seed)
+				if err := d.Step(int(churn % 600)); err != nil {
+					t.Logf("churn failed unexpectedly: %v", err)
+					return false
+				}
+				// A word count beyond the whole old semispace can never be
+				// satisfied, no matter how much the emergency ladder frees.
+				_, err := m.Alloc(heap.KindArray, 2*oldSemi/heap.BytesPerWord)
+				oom, ok := core.AsOOM(err)
+				if !ok {
+					t.Logf("impossible allocation returned %v, want *OOMError", err)
+					return false
+				}
+				if !oom.Degraded {
+					t.Logf("OOM not marked degraded after emergency completion: %+v", oom)
+					return false
+				}
+				if err := core.AuditHeap(m); err != nil {
+					t.Logf("heap not auditable after OOM: %v", err)
+					return false
+				}
+				if err := d.Verify(); err != nil {
+					t.Logf("survivor graph damaged by failed allocation: %v", err)
+					return false
+				}
+				if _, err := m.Alloc(heap.KindRecord, 2); err != nil {
+					t.Logf("small allocation failed after recovered OOM: %v", err)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -191,6 +191,15 @@ type Replicating struct {
 	replay    *policy.Cursor
 	finishing bool // inside FinishCycles: flips are not recorded
 
+	// Degradation-ladder state. promoHighWater is the largest volume one
+	// minor cycle has ever promoted; the headroom reservation (DESIGN.md,
+	// "Failure model") keeps that many bytes plus the current nursery
+	// contents free in the promotion target, forcing completion (and an
+	// early major) before a mid-copy overflow can happen. emergency marks
+	// a pause promoted to full stop-the-world completion.
+	promoHighWater int64
+	emergency      bool
+
 	// Interleaved pacing state.
 	taxCredit  int64 // accumulated work credit in bytes
 	microLimit int64 // per-micro-pause work budget (0: normal pauses)
@@ -286,13 +295,13 @@ const taxQuantum = 4 << 10
 // the top of every allocation, before the object exists, which is a safe
 // point — a flip here redirects all roots and the caller holds no
 // unprotected heap values.
-func (c *Replicating) AllocTax(m *Mutator, bytes int64) {
+func (c *Replicating) AllocTax(m *Mutator, bytes int64) error {
 	if c.cfg.InterleavedTaxPermille <= 0 {
-		return
+		return nil
 	}
 	c.taxCredit += bytes * int64(c.cfg.InterleavedTaxPermille) / 1000
 	if c.taxCredit < taxQuantum {
-		return
+		return nil
 	}
 	minorDue := c.minorActive || c.h.Nursery.UsedBytes() >= c.cfg.NurseryBytes/2
 	if !minorDue && !c.majorActive {
@@ -301,13 +310,14 @@ func (c *Replicating) AllocTax(m *Mutator, bytes int64) {
 		if c.taxCredit > 4*taxQuantum {
 			c.taxCredit = 4 * taxQuantum
 		}
-		return
+		return nil
 	}
 	budget := c.taxCredit
 	c.taxCredit = 0
 	c.microLimit = budget
+	var err error
 	if minorDue {
-		c.pause(m, 0, false)
+		err = c.pause(m, 0, false)
 	} else {
 		// Only the major collection has pending work: run a mid-cycle
 		// major increment without forcing a (trivial) minor collection.
@@ -315,13 +325,14 @@ func (c *Replicating) AllocTax(m *Mutator, bytes int64) {
 		at := m.Clock.Now()
 		c.pauseCopied, c.pauseLogProcd, c.pauseWork = 0, 0, 0
 		c.stats.PauseCount++
-		c.runMajorIncrement(m, false, false)
+		_, err = c.runMajorIncrement(m, false, false)
 		c.rec.Record(simtime.Pause{
 			At: at, Length: m.Clock.EndPause(), Kind: simtime.PauseMinor,
 			CopiedB: c.pauseCopied, LogProcN: c.pauseLogProcd,
 		})
 	}
 	c.microLimit = 0
+	return err
 }
 
 // entryWorkBytes is the work-budget weight of examining one log entry
@@ -329,34 +340,80 @@ func (c *Replicating) AllocTax(m *Mutator, bytes int64) {
 const entryWorkBytes = 16
 
 // CollectForAlloc implements Collector: one garbage-collection pause.
-func (c *Replicating) CollectForAlloc(m *Mutator, needWords int) {
-	c.pause(m, needWords, false)
+func (c *Replicating) CollectForAlloc(m *Mutator, needWords int) error {
+	return c.pause(m, needWords, false)
 }
 
 // FinishCycles implements Collector: drive all pending incremental work to
 // completion so total copy volumes are comparable across configurations.
-func (c *Replicating) FinishCycles(m *Mutator) {
+func (c *Replicating) FinishCycles(m *Mutator) error {
 	if !c.minorActive && !c.majorActive {
-		return
+		return nil
 	}
 	// Run ordinary budgeted pauses so the tail of the run has the same
 	// bounded-pause behaviour as the rest; fall back to forced completion
 	// only if the collection fails to converge. Flips forced here are an
 	// end-of-run artifact and are not recorded into policy scripts.
 	c.finishing = true
+	defer func() { c.finishing = false }()
 	for i := 0; c.minorActive || c.majorActive; i++ {
-		c.pause(m, 0, i > 1<<16)
+		if err := c.pause(m, 0, i > 1<<16); err != nil {
+			return err
+		}
 	}
-	c.finishing = false
+	return nil
+}
+
+// CollectEmergency implements EmergencyCollector: one honest stop-the-world
+// pause that drives the active cycles to completion and forces a full major
+// collection, compacting the old generation so a failed direct allocation
+// can retry. The long pause is charged to simulated time and recorded like
+// any other.
+func (c *Replicating) CollectEmergency(m *Mutator) error {
+	c.stats.EmergencyCollections++
+	c.emergency = true
+	return c.pause(m, 0, true)
 }
 
 // pause stops the mutator and performs one increment of collection work.
 // When force is set the pause ignores budgets and completes everything.
-func (c *Replicating) pause(m *Mutator, needWords int, force bool) {
+// The pause is always charged and recorded — including when it ends in a
+// typed exhaustion error, so degraded runs report honest long pauses.
+func (c *Replicating) pause(m *Mutator, needWords int, force bool) error {
 	m.Clock.BeginPause()
 	at := m.Clock.Now()
 	c.pauseCopied, c.pauseLogProcd, c.pauseWork = 0, 0, 0
 	c.stats.PauseCount++
+
+	kind := simtime.PauseMinor
+	err := c.pauseBody(m, needWords, force, &kind)
+	c.emergency = false
+
+	length := m.Clock.EndPause()
+	if DebugPause != nil && length > 100*simtime.Millisecond {
+		DebugPause(c, m, length)
+	}
+	c.rec.Record(simtime.Pause{
+		At: at, Length: length, Kind: kind,
+		CopiedB: c.pauseCopied, LogProcN: c.pauseLogProcd,
+	})
+	return err
+}
+
+// pauseBody is the work of one pause; pause wraps it so the clock and the
+// recorder see every pause, successful or not.
+func (c *Replicating) pauseBody(m *Mutator, needWords int, force bool, kind *simtime.PauseKind) error {
+	// Degradation ladder, headroom reservation: if the promotion target
+	// cannot absorb a worst-case cycle (everything currently in the
+	// nursery plus the recorded high-water mark as reserve), finish all
+	// incremental work now, in one long pause, rather than risk an
+	// unrecoverable overflow in the middle of a later copy.
+	if !force && c.lowHeadroom() {
+		force = true
+		c.emergency = true
+		c.stats.EmergencyCollections++
+		c.stats.ForcedCompletion++
+	}
 
 	if !c.minorActive {
 		c.startMinor(m)
@@ -367,11 +424,17 @@ func (c *Replicating) pause(m *Mutator, needWords int, force bool) {
 		c.stats.ForcedCompletion++
 	}
 
-	kind := simtime.PauseMinor
-	if c.runMinorIncrement(m, forceMinor) {
-		majorFlipped := c.afterMinorFlip(m, force)
+	done, err := c.runMinorIncrement(m, forceMinor)
+	if err != nil {
+		return err
+	}
+	if done {
+		majorFlipped, err := c.afterMinorFlip(m, force)
+		if err != nil {
+			return err
+		}
 		if majorFlipped && !c.cfg.IncrementalMajor {
-			kind = simtime.PauseMajor
+			*kind = simtime.PauseMajor
 		}
 	} else if needWords > 0 || c.h.Nursery.FreeWords() == 0 {
 		// Await completion: grant the mutator room to keep allocating
@@ -386,23 +449,39 @@ func (c *Replicating) pause(m *Mutator, needWords int, force bool) {
 		granted := c.h.Nursery.GrowBytes(grow)
 		c.stats.NurseryExpansion += granted
 		if granted < needB {
-			// No headroom left: conservative completion.
+			// Expansion bound blown: conservative completion (the
+			// ladder's first rung), then regrow toward the cap for the
+			// blocked allocation. Only if the nursery still cannot hold
+			// the request does Alloc surface the typed error.
 			c.stats.ForcedCompletion++
-			if !c.runMinorIncrement(m, true) {
+			done, err := c.runMinorIncrement(m, true)
+			if err != nil {
+				return err
+			}
+			if !done {
+				//gclint:allow panicpath -- invariant: a forced increment has no budget to run out of
 				panic("core: forced minor completion did not complete")
 			}
-			c.afterMinorFlip(m, force)
+			if _, err := c.afterMinorFlip(m, force); err != nil {
+				return err
+			}
+			if free := c.h.Nursery.LimitBytes() - c.h.Nursery.UsedBytes(); free < needB {
+				c.stats.NurseryExpansion += c.h.Nursery.GrowBytes(needB - free)
+			}
 		}
 	}
+	return nil
+}
 
-	length := m.Clock.EndPause()
-	if DebugPause != nil && length > 100*simtime.Millisecond {
-		DebugPause(c, m, length)
-	}
-	c.rec.Record(simtime.Pause{
-		At: at, Length: length, Kind: kind,
-		CopiedB: c.pauseCopied, LogProcN: c.pauseLogProcd,
-	})
+// lowHeadroom reports whether the promotion target is at risk of
+// overflowing: its free bytes are below the worst case the active (or
+// next) minor cycle can promote — the nursery's current contents — plus
+// the promotion high-water mark as a safety reserve. The trigger depends
+// only on simulated-heap state, so fault plans and replays stay
+// deterministic.
+func (c *Replicating) lowHeadroom() bool {
+	free := int64(c.PromoteSpace().FreeWords()) * heap.BytesPerWord
+	return free < c.h.Nursery.UsedBytes()+c.promoHighWater
 }
 
 // DebugPause, when set, is invoked for long pauses (test diagnostics).
@@ -432,8 +511,10 @@ func (c *Replicating) overBudget(force bool) bool {
 }
 
 // runMinorIncrement performs one increment of the minor collection and
-// reports whether the collection completed (including its flip).
-func (c *Replicating) runMinorIncrement(m *Mutator, force bool) bool {
+// reports whether the collection completed (including its flip). A typed
+// exhaustion error leaves the cycle active and resumable: every cursor
+// stops exactly at the failed unit of work.
+func (c *Replicating) runMinorIncrement(m *Mutator, force bool) (bool, error) {
 	h := c.h
 
 	// 1. Process the mutation log: discover minor roots (old-space slots
@@ -441,13 +522,13 @@ func (c *Replicating) runMinorIncrement(m *Mutator, force bool) bool {
 	// log processing is not incremental (paper §3.4) and ignores L; with
 	// BoundedLogProcessing it stops at the work limit and resumes at the
 	// next pause.
-	if !c.processMinorLog(m, force) {
-		return false
+	if done, err := c.processMinorLog(m, force); !done {
+		return false, err
 	}
 
 	// 2. Cheney scan of the objects promoted this cycle.
-	if !c.scanFresh(m, force) {
-		return false
+	if done, err := c.scanFresh(m, force); !done {
+		return false, err
 	}
 
 	// 3. The log is drained and the scan has caught up: attempt
@@ -458,32 +539,45 @@ func (c *Replicating) runMinorIncrement(m *Mutator, force bool) bool {
 	// replicated within the budget; an aborted pass is retried by a later
 	// increment.
 	aborted := false
+	var visitErr error
 	n := m.Roots.Visit(func(slot *heap.Value) {
-		if aborted {
+		if aborted || visitErr != nil {
 			return
 		}
 		v := *slot
 		if h.Nursery.Contains(v) {
-			c.replicateMinor(m, v)
+			if _, err := c.replicateMinor(m, v); err != nil {
+				visitErr = err
+				return
+			}
 			if c.overBudget(force) {
 				aborted = true
 			}
 		}
 	})
 	c.chargeRoots(m, n)
+	if visitErr != nil {
+		return false, visitErr
+	}
 	if aborted {
-		return false
+		return false, nil
 	}
 	// The roots may have enqueued fresh copies; finish scanning them.
-	if !c.scanFresh(m, force) {
-		return false
+	if done, err := c.scanFresh(m, force); !done {
+		return false, err
 	}
 
 	// 4. Lazy mode deferred its reapplies to this moment.
 	if c.cfg.LazyLogProcessing {
-		c.drainLazyMinor(m)
+		if err := c.drainLazyMinor(m); err != nil {
+			return false, err
+		}
 		// Reapplication may have replicated new objects; finish scanning.
-		if !c.scanFresh(m, true) {
+		if done, err := c.scanFresh(m, true); !done {
+			if err != nil {
+				return false, err
+			}
+			//gclint:allow panicpath -- invariant: a forced scan has no budget to run out of
 			panic("core: lazy completion scan did not finish")
 		}
 	}
@@ -491,27 +585,43 @@ func (c *Replicating) runMinorIncrement(m *Mutator, force bool) bool {
 	// each round of copies can expose more deferred references, so loop
 	// to a fixpoint.
 	for len(c.pendingMut) > 0 {
-		c.drainPendingMutables(m)
-		if !c.scanFresh(m, true) {
+		if err := c.drainPendingMutables(m); err != nil {
+			return false, err
+		}
+		if done, err := c.scanFresh(m, true); !done {
+			if err != nil {
+				return false, err
+			}
+			//gclint:allow panicpath -- invariant: a forced scan has no budget to run out of
 			panic("core: pending-mutable completion scan did not finish")
 		}
 	}
 	if c.minorLogCursor != m.Log.Len() {
-		return false
+		return false, nil
 	}
 
-	c.minorFlip(m)
-	return true
+	if err := c.minorFlip(m); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // processMinorLog consumes pending log entries for the minor collection;
-// it reports whether the log was fully drained.
-func (c *Replicating) processMinorLog(m *Mutator, force bool) bool {
+// it reports whether the log was fully drained. On a typed exhaustion
+// error the cursor is rewound to the failed entry so a later (degraded)
+// increment resumes exactly there.
+func (c *Replicating) processMinorLog(m *Mutator, force bool) (bool, error) {
 	h := c.h
+	rewind := func(err error) (bool, error) {
+		c.minorLogCursor--
+		c.stats.LogScanned--
+		c.pauseLogProcd--
+		return false, err
+	}
 	for c.minorLogCursor < m.Log.Len() {
 		if c.cfg.BoundedLogProcessing {
 			if c.overBudget(force) {
-				return false
+				return false, nil
 			}
 			c.pauseWork += entryWorkBytes
 		}
@@ -528,7 +638,9 @@ func (c *Replicating) processMinorLog(m *Mutator, force bool) bool {
 				c.lazyMinorSeqs = append(c.lazyMinorSeqs, seq)
 				continue
 			}
-			c.reapplyMinor(m, e)
+			if err := c.reapplyMinor(m, e); err != nil {
+				return rewind(err)
+			}
 		case h.OldFrom().Contains(e.Obj), h.OldTo().Contains(e.Obj):
 			// A mutation to an old object: a minor root when it stores a
 			// nursery pointer. (Old-to objects are mutator-visible while
@@ -539,20 +651,22 @@ func (c *Replicating) processMinorLog(m *Mutator, force bool) bool {
 			}
 			v := h.Load(e.Obj, int(e.Slot))
 			if h.Nursery.Contains(v) {
-				c.replicateMinor(m, v)
+				if _, err := c.replicateMinor(m, v); err != nil {
+					return rewind(err)
+				}
 				c.minorRootSeqs = append(c.minorRootSeqs, seq)
 			}
 		}
 	}
-	return true
+	return true, nil
 }
 
 // reapplyMinor brings the replica of a mutated, already-replicated nursery
 // object up to date with one logged mutation.
-func (c *Replicating) reapplyMinor(m *Mutator, e LogEntry) {
+func (c *Replicating) reapplyMinor(m *Mutator, e LogEntry) error {
 	h := c.h
 	if !h.IsForwarded(e.Obj) {
-		return // not yet replicated; the copy will carry current contents
+		return nil // not yet replicated; the copy will carry current contents
 	}
 	replica := h.ForwardAddr(e.Obj)
 	c.stats.LogReapplied++
@@ -561,13 +675,17 @@ func (c *Replicating) reapplyMinor(m *Mutator, e LogEntry) {
 		for i := int32(0); i < e.Len; i++ {
 			h.StoreByte(replica, int(e.Slot+i), h.LoadByte(e.Obj, int(e.Slot+i)))
 		}
-		return
+		return nil
 	}
+	var err error
 	v := h.Load(e.Obj, int(e.Slot))
 	if h.Nursery.Contains(v) {
-		v = c.minorValue(m, v, replica, int(e.Slot))
+		v, err = c.minorValue(m, v, replica, int(e.Slot))
 	} else {
-		v = c.toSpaceValue(m, v, replica, int(e.Slot))
+		v, err = c.toSpaceValue(m, v, replica, int(e.Slot))
+	}
+	if err != nil {
+		return err // replica slot untouched; reapplying again later is safe
 	}
 	h.Store(replica, int(e.Slot), v)
 	// If the replica was already traced by an active major, the store may
@@ -575,61 +693,80 @@ func (c *Replicating) reapplyMinor(m *Mutator, e LogEntry) {
 	if c.majorActive && h.OldTo().Contains(v) {
 		c.queueGray(v)
 	}
+	return nil
 }
 
-// drainLazyMinor reapplies all deferred mutations at completion time.
-func (c *Replicating) drainLazyMinor(m *Mutator) {
+// drainLazyMinor reapplies all deferred mutations at completion time. The
+// queue is only truncated once every entry has been applied, so an
+// exhaustion error mid-drain is retried from the top (reapplication is
+// idempotent: it copies the original's current contents).
+func (c *Replicating) drainLazyMinor(m *Mutator) error {
 	for _, seq := range c.lazyMinorSeqs {
 		if seq < m.Log.Base() {
+			//gclint:allow panicpath -- invariant: trimLog keeps every queued lazy entry alive
 			panic("core: lazy log entry trimmed prematurely")
 		}
-		c.reapplyMinor(m, m.Log.At(seq))
+		if err := c.reapplyMinor(m, m.Log.At(seq)); err != nil {
+			return err
+		}
 	}
 	c.lazyMinorSeqs = c.lazyMinorSeqs[:0]
+	return nil
 }
 
 // minorValue prepares a nursery value for storage into a replica slot.
 // Under DeferMutableCopies, references to not-yet-copied mutable objects
 // are left pointing into the nursery and the slot is queued; the copy (and
 // the slot fix) happen in the completing increment.
-func (c *Replicating) minorValue(m *Mutator, v heap.Value, slotObj heap.Value, slot int) heap.Value {
+func (c *Replicating) minorValue(m *Mutator, v heap.Value, slotObj heap.Value, slot int) (heap.Value, error) {
 	h := c.h
 	if h.IsForwarded(v) {
-		return h.ForwardAddr(v)
+		return h.ForwardAddr(v), nil
 	}
 	if c.cfg.DeferMutableCopies && heap.Header(h.RawHeader(v)).Kind().Mutable() {
 		c.pendingMut = append(c.pendingMut, fixup{obj: slotObj, slot: int32(slot)})
-		return v
+		return v, nil
 	}
 	return c.replicateMinor(m, v)
 }
 
 // drainPendingMutables copies the deferred mutable objects and re-points
-// the recorded slots; runs at completion, when contents are final.
-func (c *Replicating) drainPendingMutables(m *Mutator) {
+// the recorded slots; runs at completion, when contents are final. The
+// queue is only truncated after a full pass: slots already re-pointed no
+// longer hold nursery values, so a resumed pass skips them.
+func (c *Replicating) drainPendingMutables(m *Mutator) error {
 	h := c.h
 	for _, f := range c.pendingMut {
 		v := h.Load(f.obj, int(f.slot))
 		if !h.Nursery.Contains(v) {
 			continue // overwritten since; a later entry handled it
 		}
-		h.Store(f.obj, int(f.slot), c.replicateMinor(m, v))
+		nv, err := c.replicateMinor(m, v)
+		if err != nil {
+			return err
+		}
+		h.Store(f.obj, int(f.slot), nv)
 	}
 	c.pendingMut = c.pendingMut[:0]
+	return nil
 }
 
 // replicateMinor ensures v (a nursery object) has a replica in the
 // promotion space and returns the replica pointer. The original stays
 // intact — its header word now carries the forwarding pointer (paper §3.2).
-func (c *Replicating) replicateMinor(m *Mutator, v heap.Value) heap.Value {
+// Overflow of the promotion space surfaces as a typed *OOMError; v is left
+// unforwarded and the heap is still auditable (the headroom reservation in
+// pauseBody exists to make this path unreachable in practice).
+func (c *Replicating) replicateMinor(m *Mutator, v heap.Value) (heap.Value, error) {
 	h := c.h
 	if h.IsForwarded(v) {
-		return h.ForwardAddr(v)
+		return h.ForwardAddr(v), nil
 	}
 	hdr := heap.Header(h.RawHeader(v))
-	replica, ok := h.CopyObject(v, c.PromoteSpace())
+	space := c.PromoteSpace()
+	replica, ok := h.CopyObject(v, space)
 	if !ok {
-		panic("core: promotion space exhausted during minor replication")
+		return heap.Nil, c.oomCopy(OOMPromotion, space, hdr)
 	}
 	h.SetForward(v, replica)
 	b := hdr.SizeBytes()
@@ -637,7 +774,20 @@ func (c *Replicating) replicateMinor(m *Mutator, v heap.Value) heap.Value {
 	c.pauseCopied += b
 	c.pauseWork += b
 	m.Clock.Charge(simtime.AcctMinorCopy, simtime.Duration(hdr.SizeWords())*m.Cost.CopyWord)
-	return replica
+	return replica, nil
+}
+
+// oomCopy builds the typed error for a failed replication copy.
+func (c *Replicating) oomCopy(res OOMResource, space *heap.Space, hdr heap.Header) *OOMError {
+	return &OOMError{
+		Resource:  res,
+		Collector: c.Name(),
+		Space:     space.Name,
+		Request:   hdr.SizeBytes(),
+		Free:      int64(space.FreeWords()) * heap.BytesPerWord,
+		Limit:     space.LimitBytes(),
+		Degraded:  c.emergency,
+	}
 }
 
 // queueGray adds a to-space object to the major's scan worklist unless it
@@ -658,16 +808,18 @@ func (c *Replicating) queueGray(p heap.Value) {
 }
 
 // replicateMajor ensures v (an old from-space object) has a replica in
-// old-to and returns it. Only meaningful while a major is active.
-func (c *Replicating) replicateMajor(m *Mutator, v heap.Value) heap.Value {
+// old-to and returns it. Only meaningful while a major is active. Overflow
+// of the reserve semispace surfaces as a typed *OOMError with v left
+// unforwarded.
+func (c *Replicating) replicateMajor(m *Mutator, v heap.Value) (heap.Value, error) {
 	h := c.h
 	if h.IsForwarded(v) {
-		return h.ForwardAddr(v)
+		return h.ForwardAddr(v), nil
 	}
 	hdr := heap.Header(h.RawHeader(v))
 	replica, ok := h.CopyObject(v, h.OldTo())
 	if !ok {
-		panic("core: to-space exhausted during major replication")
+		return heap.Nil, c.oomCopy(OOMToSpace, h.OldTo(), hdr)
 	}
 	h.SetForward(v, replica)
 	b := hdr.SizeBytes()
@@ -676,7 +828,7 @@ func (c *Replicating) replicateMajor(m *Mutator, v heap.Value) heap.Value {
 	c.pauseWork += b
 	m.Clock.Charge(simtime.AcctMajorCopy, simtime.Duration(hdr.SizeWords())*m.Cost.CopyWord)
 	c.queueGray(replica)
-	return replica
+	return replica, nil
 }
 
 // toSpaceValue prepares a value for storage into a to-space slot while a
@@ -686,9 +838,9 @@ func (c *Replicating) replicateMajor(m *Mutator, v heap.Value) heap.Value {
 // while mutable references keep pointing at the original — exposing a
 // mutable replica before the flip would break the from-space invariant —
 // and the slot is queued for re-pointing during the major flip.
-func (c *Replicating) toSpaceValue(m *Mutator, v heap.Value, slotObj heap.Value, slot int) heap.Value {
+func (c *Replicating) toSpaceValue(m *Mutator, v heap.Value, slotObj heap.Value, slot int) (heap.Value, error) {
 	if !c.majorActive || !c.h.OldFrom().Contains(v) {
-		return v
+		return v, nil
 	}
 	if c.h.HeaderOf(v).Kind().Mutable() {
 		f := fixup{obj: slotObj, slot: int32(slot)}
@@ -701,9 +853,11 @@ func (c *Replicating) toSpaceValue(m *Mutator, v heap.Value, slotObj heap.Value,
 		// made to it in the meantime never need reapplying; otherwise
 		// copy eagerly (the slot still waits for the flip either way).
 		if !c.cfg.DeferMutableCopies {
-			c.replicateMajor(m, v)
+			if _, err := c.replicateMajor(m, v); err != nil {
+				return heap.Nil, err
+			}
 		}
-		return v
+		return v, nil
 	}
 	return c.replicateMajor(m, v)
 }
@@ -712,7 +866,7 @@ func (c *Replicating) toSpaceValue(m *Mutator, v heap.Value, slotObj heap.Value,
 // copies were deferred (their slots are the recorded fixups), queueing the
 // replicas for tracing. Budget-gated; reports whether everything pending
 // was copied.
-func (c *Replicating) drainDeferredMajorMutables(m *Mutator, force bool) bool {
+func (c *Replicating) drainDeferredMajorMutables(m *Mutator, force bool) (bool, error) {
 	h := c.h
 	for _, f := range c.fixups {
 		v := h.Load(f.obj, int(f.slot))
@@ -720,11 +874,13 @@ func (c *Replicating) drainDeferredMajorMutables(m *Mutator, force bool) bool {
 			continue
 		}
 		if c.overBudget(force) {
-			return false
+			return false, nil
 		}
-		c.replicateMajor(m, v)
+		if _, err := c.replicateMajor(m, v); err != nil {
+			return false, err
+		}
 	}
-	return true
+	return true, nil
 }
 
 // scanFresh advances the minor Cheney scan over the objects promoted in
@@ -733,7 +889,7 @@ func (c *Replicating) drainDeferredMajorMutables(m *Mutator, force bool) bool {
 // mutator is entitled to use from-space originals, and the major scan deals
 // with them at its own pace. It reports whether the scan caught up with the
 // promotion frontier.
-func (c *Replicating) scanFresh(m *Mutator, force bool) bool {
+func (c *Replicating) scanFresh(m *Mutator, force bool) (bool, error) {
 	h := c.h
 	space := c.PromoteSpace()
 	for c.scan < space.Next {
@@ -743,10 +899,11 @@ func (c *Replicating) scanFresh(m *Mutator, force bool) bool {
 			continue
 		}
 		if c.overBudget(force) {
-			return false
+			return false, nil
 		}
 		w := h.Arena[c.scan]
 		if !heap.IsHeader(w) {
+			//gclint:allow panicpath -- invariant: replicas are never themselves forwarded during their cycle
 			panic(fmt.Sprintf("core: minor scan hit forwarded object at %#x", c.scan))
 		}
 		hdr := heap.Header(w)
@@ -769,19 +926,24 @@ func (c *Replicating) scanFresh(m *Mutator, force bool) bool {
 		for ; i < hdr.Len(); i++ {
 			if c.overBudget(force) {
 				c.scanSlot = i
-				return false
+				return false, nil
 			}
 			c.pauseWork += heap.BytesPerWord
 			m.Clock.Charge(simtime.AcctMinorCopy, m.Cost.ScanWord)
 			v := h.Load(p, i)
 			if h.Nursery.Contains(v) {
-				h.Store(p, i, c.minorValue(m, v, p, i))
+				nv, err := c.minorValue(m, v, p, i)
+				if err != nil {
+					c.scanSlot = i // resume exactly at the failed slot
+					return false, err
+				}
+				h.Store(p, i, nv)
 			}
 		}
 		c.scanSlot = 0
 		c.scan += uint64(hdr.SizeWords())
 	}
-	return true
+	return true, nil
 }
 
 // scanGray drains the major's gray worklist within the work budget: each
@@ -791,7 +953,7 @@ func (c *Replicating) scanFresh(m *Mutator, force bool) bool {
 // resumable *within* an object, so even a single large array cannot blow
 // the pause budget — the incremental-large-object extension the paper
 // suggests in §3.4. It reports whether the worklist emptied.
-func (c *Replicating) scanGray(m *Mutator, force bool) bool {
+func (c *Replicating) scanGray(m *Mutator, force bool) (bool, error) {
 	h := c.h
 	for {
 		var p heap.Value
@@ -801,16 +963,17 @@ func (c *Replicating) scanGray(m *Mutator, force bool) bool {
 			c.grayCur, c.graySlot = heap.Nil, 0
 		} else {
 			if len(c.grayQ) == 0 {
-				return true
+				return true, nil
 			}
 			if c.overBudget(force) {
-				return false
+				return false, nil
 			}
 			p = c.grayQ[len(c.grayQ)-1]
 			c.grayQ = c.grayQ[:len(c.grayQ)-1]
 		}
 		hdr := heap.Header(h.RawHeader(p))
 		if !heap.IsHeader(heap.Value(hdr)) {
+			//gclint:allow panicpath -- invariant: to-space objects are replicas and never forwarded
 			panic("core: gray object is forwarded")
 		}
 		if !hdr.Kind().HasPointers() {
@@ -825,14 +988,19 @@ func (c *Replicating) scanGray(m *Mutator, force bool) bool {
 		for i := start; i < hdr.Len(); i++ {
 			if c.overBudget(force) {
 				c.grayCur, c.graySlot = p, i
-				return false
+				return false, nil
 			}
 			c.pauseWork += heap.BytesPerWord
 			m.Clock.Charge(simtime.AcctMajorCopy, m.Cost.ScanWord)
 			v := h.Load(p, i)
 			switch {
 			case h.OldFrom().Contains(v):
-				h.Store(p, i, c.toSpaceValue(m, v, p, i))
+				nv, err := c.toSpaceValue(m, v, p, i)
+				if err != nil {
+					c.grayCur, c.graySlot = p, i // resume at the failed slot
+					return false, err
+				}
+				h.Store(p, i, nv)
 			case h.OldTo().Contains(v):
 				c.queueGray(v)
 			}
@@ -848,8 +1016,12 @@ func (c *Replicating) chargeRoots(m *Mutator, n int) {
 // minorFlip atomically redirects the mutator onto the replicas: logged
 // old-space slots (the minor roots) are re-pointed via an extra traversal
 // of the filtered log (the paper's CF cost), then every mutator root is
-// updated, and the nursery is discarded.
-func (c *Replicating) minorFlip(m *Mutator) {
+// updated, and the nursery is discarded. A typed exhaustion error from a
+// straggler copy aborts the flip with the cycle still active: nothing is
+// truncated until every fallible step has succeeded, and the already-
+// re-pointed slots no longer hold nursery values, so a retried flip skips
+// them.
+func (c *Replicating) minorFlip(m *Mutator) error {
 	h := c.h
 
 	// Re-point logged old-space locations at promoted replicas.
@@ -860,7 +1032,9 @@ func (c *Replicating) minorFlip(m *Mutator) {
 			continue // overwritten since; a later entry handled it
 		}
 		if !h.IsForwarded(v) {
-			c.replicateMinor(m, v)
+			if _, err := c.replicateMinor(m, v); err != nil {
+				return err
+			}
 		}
 		h.Store(e.Obj, int(e.Slot), h.ForwardAddr(v))
 		c.stats.FlipEntryUpdates++
@@ -885,6 +1059,7 @@ func (c *Replicating) minorFlip(m *Mutator) {
 		v := *slot
 		if h.Nursery.Contains(v) {
 			if !h.IsForwarded(v) {
+				//gclint:allow panicpath -- invariant: the completion pass replicated every nursery root before the flip
 				panic("core: unreplicated root at minor flip")
 			}
 			*slot = h.ForwardAddr(v)
@@ -902,6 +1077,9 @@ func (c *Replicating) minorFlip(m *Mutator) {
 	h.Nursery.Reset()
 	promoted := c.stats.BytesCopiedMinor - c.minorStartCopy
 	c.promotedSinceMajor += promoted
+	if promoted > c.promoHighWater {
+		c.promoHighWater = promoted // feeds the headroom reservation
+	}
 	c.stats.MinorCollections++
 	c.minorActive = false
 	// Skip spans expire with the cycle: the minor scan has passed them,
@@ -917,6 +1095,7 @@ func (c *Replicating) minorFlip(m *Mutator) {
 	}
 	c.setNextNurseryLimit(m)
 	c.trimLog(m)
+	return nil
 }
 
 // setNextNurseryLimit restores the nursery limit for the next cycle: the
@@ -954,18 +1133,25 @@ func (c *Replicating) trimLog(m *Mutator) {
 // when the promotion threshold O is crossed, then perform major work within
 // the pause's remaining budget (or, if the minor work already exhausted it,
 // process the log only). It reports whether a major flip completed.
-func (c *Replicating) afterMinorFlip(m *Mutator, force bool) bool {
+//
+// An emergency pause overrides the threshold: the old generation is the
+// only place a degraded collection can reclaim space, so the major runs
+// (and completes) regardless of O.
+func (c *Replicating) afterMinorFlip(m *Mutator, force bool) (bool, error) {
 	if !c.majorActive {
 		trigger := c.cfg.MajorThresholdBytes > 0 && c.promotedSinceMajor >= c.cfg.MajorThresholdBytes
 		if c.replay != nil {
 			trigger = c.forcedMajorFlip
 		}
+		if c.emergency {
+			trigger = true
+		}
 		if !trigger {
-			return false
+			return false, nil
 		}
 		c.startMajor(m)
 	}
-	forceMajor := force || !c.cfg.IncrementalMajor || (c.replay != nil && c.forcedMajorFlip)
+	forceMajor := force || c.emergency || !c.cfg.IncrementalMajor || (c.replay != nil && c.forcedMajorFlip)
 	// Under interleaved pacing, the post-flip increment is the only moment
 	// a major can complete; give it a quarter of the standard per-pause
 	// work budget rather than the micro quantum (flips are the one place
@@ -978,15 +1164,18 @@ func (c *Replicating) afterMinorFlip(m *Mutator, force bool) bool {
 			c.microLimit = bigger
 		}
 	}
-	flipped := c.runMajorIncrement(m, forceMajor, true)
+	flipped, err := c.runMajorIncrement(m, forceMajor, true)
 	c.microLimit = micro
+	if err != nil {
+		return false, err
+	}
 	if flipped {
 		c.forcedMajorFlip = false
 		if c.cfg.Record != nil && !c.finishing && c.cfg.Record.Len() > 0 {
 			c.cfg.Record.Events[c.cfg.Record.Len()-1].MajorFlip = true
 		}
 	}
-	return flipped
+	return flipped, nil
 }
 
 // startMajor begins a major collection cycle. It must be called right after
@@ -1014,17 +1203,24 @@ func (c *Replicating) startMajor(m *Mutator) {
 // (concurrent-style pacing, §6) pass false, and a logged slot whose current
 // value still points into the nursery blocks the log queue until the next
 // minor flip re-points it. Completion is only possible post-flip.
-func (c *Replicating) runMajorIncrement(m *Mutator, force, postFlip bool) bool {
+func (c *Replicating) runMajorIncrement(m *Mutator, force, postFlip bool) (bool, error) {
 	h := c.h
 
 	// 1. Drain the major log: reapply mutations to existing replicas of
 	// old-from objects, and track from-space references stored into
-	// mutator-visible to-space objects.
+	// mutator-visible to-space objects. A typed exhaustion error rewinds
+	// the cursor to the failed entry, like the mid-cycle retry below.
+	rewind := func(err error) (bool, error) {
+		c.majorLogCursor--
+		c.stats.LogScanned--
+		c.pauseLogProcd--
+		return false, err
+	}
 logLoop:
 	for c.majorLogCursor < m.Log.Len() {
 		if c.cfg.BoundedLogProcessing {
 			if c.overBudget(force) {
-				return false
+				return false, nil
 			}
 			c.pauseWork += entryWorkBytes
 		}
@@ -1044,6 +1240,7 @@ logLoop:
 				v := h.Load(e.Obj, int(e.Slot))
 				if h.Nursery.Contains(v) {
 					if postFlip {
+						//gclint:allow panicpath -- invariant: the minor flip re-points every logged old→nursery slot
 						panic("core: old object holds nursery pointer after a minor flip")
 					}
 					// Mid-cycle: the slot will be re-pointed by the next
@@ -1068,7 +1265,11 @@ logLoop:
 				// the newly referenced to-space object is traced.
 				c.queueGray(v)
 			}
-			h.Store(replica, int(e.Slot), c.toSpaceValue(m, v, replica, int(e.Slot)))
+			nv, err := c.toSpaceValue(m, v, replica, int(e.Slot))
+			if err != nil {
+				return rewind(err)
+			}
+			h.Store(replica, int(e.Slot), nv)
 
 		case h.OldTo().Contains(e.Obj):
 			// A mutator-visible to-space object received a store: the
@@ -1082,7 +1283,10 @@ logLoop:
 			v := h.Load(e.Obj, int(e.Slot))
 			switch {
 			case h.OldFrom().Contains(v):
-				nv := c.toSpaceValue(m, v, e.Obj, int(e.Slot))
+				nv, err := c.toSpaceValue(m, v, e.Obj, int(e.Slot))
+				if err != nil {
+					return rewind(err)
+				}
 				if nv != v {
 					h.Store(e.Obj, int(e.Slot), nv)
 				}
@@ -1093,12 +1297,12 @@ logLoop:
 	}
 
 	if c.overBudget(force) {
-		return false
+		return false, nil
 	}
 
 	// 2. Trace the gray worklist.
-	if !c.scanGray(m, force) {
-		return false
+	if done, err := c.scanGray(m, force); !done {
+		return false, err
 	}
 
 	// 3. Queue and log are drained: attempt completion. Scan the mutator
@@ -1109,17 +1313,21 @@ logLoop:
 	// the minor collection, roots are scanned once per completion attempt
 	// rather than once per increment.
 	if !postFlip {
-		return false
+		return false, nil
 	}
 	aborted := false
+	var visitErr error
 	n := m.Roots.Visit(func(slot *heap.Value) {
-		if aborted {
+		if aborted || visitErr != nil {
 			return
 		}
 		v := *slot
 		switch {
 		case h.OldFrom().Contains(v):
-			c.replicateMajor(m, v)
+			if _, err := c.replicateMajor(m, v); err != nil {
+				visitErr = err
+				return
+			}
 			if c.overBudget(force) {
 				aborted = true
 			}
@@ -1128,12 +1336,15 @@ logLoop:
 		}
 	})
 	c.chargeRoots(m, n)
+	if visitErr != nil {
+		return false, visitErr
+	}
 	if aborted {
-		return false
+		return false, nil
 	}
 	// The roots may have enqueued fresh work; finish tracing it.
-	if !c.scanGray(m, force) {
-		return false
+	if done, err := c.scanGray(m, force); !done {
+		return false, err
 	}
 
 	// Deferred mutable copies (§2.5) happen now: copy, trace their
@@ -1141,31 +1352,37 @@ logLoop:
 	// expose further deferred references.
 	if c.cfg.DeferMutableCopies {
 		for {
-			if !c.drainDeferredMajorMutables(m, force) {
-				return false
+			if done, err := c.drainDeferredMajorMutables(m, force); !done {
+				return false, err
 			}
 			if len(c.grayQ) == 0 && c.grayCur == heap.Nil {
 				break
 			}
-			if !c.scanGray(m, force) {
-				return false
+			if done, err := c.scanGray(m, force); !done {
+				return false, err
 			}
 		}
 	}
 
 	if c.majorLogCursor != m.Log.Len() || len(c.grayQ) > 0 || c.grayCur != heap.Nil {
-		return false
+		return false, nil
 	}
-	c.majorFlip(m)
-	return true
+	if err := c.majorFlip(m); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // majorFlip atomically redirects everything that still references the old
 // from-space — queued mutable-reference fixups and the mutator roots — then
-// swaps the semispaces and discards the from-space.
-func (c *Replicating) majorFlip(m *Mutator) {
+// swaps the semispaces and discards the from-space. Like minorFlip it is
+// abortable: a straggler copy that overflows to-space surfaces a typed
+// error before anything is truncated, and the already-re-pointed fixups no
+// longer hold from-space values, so a retried flip skips them.
+func (c *Replicating) majorFlip(m *Mutator) error {
 	h := c.h
 	if h.Nursery.UsedWords() != 0 {
+		//gclint:allow panicpath -- invariant: majors only flip right after a minor flip emptied the nursery
 		panic("core: major flip with non-empty nursery")
 	}
 
@@ -1177,7 +1394,9 @@ func (c *Replicating) majorFlip(m *Mutator) {
 			continue // overwritten since; later entries handled it
 		}
 		if !h.IsForwarded(v) {
-			c.replicateMajor(m, v)
+			if _, err := c.replicateMajor(m, v); err != nil {
+				return err
+			}
 		}
 		h.Store(f.obj, int(f.slot), h.ForwardAddr(v))
 		c.stats.FlipEntryUpdates++
@@ -1190,6 +1409,7 @@ func (c *Replicating) majorFlip(m *Mutator) {
 		v := *slot
 		if h.OldFrom().Contains(v) {
 			if !h.IsForwarded(v) {
+				//gclint:allow panicpath -- invariant: the completion pass replicated every old-from root before the flip
 				panic("core: unreplicated root at major flip")
 			}
 			*slot = h.ForwardAddr(v)
@@ -1215,4 +1435,5 @@ func (c *Replicating) majorFlip(m *Mutator) {
 	c.majorLogCursor = m.Log.Len()
 	c.minorLogCursor = m.Log.Len()
 	m.Log.TrimTo(m.Log.Len())
+	return nil
 }

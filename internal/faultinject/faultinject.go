@@ -1,0 +1,214 @@
+// Package faultinject drives collectors into their failure and degradation
+// paths at deterministic points. A Plan is a seeded schedule of adversarial
+// events — forced collections, headroom shrinks that make promotion or
+// to-space copying overflow mid-cycle, mutation-log spikes, forced
+// conservative completion — expressed in the run's own coordinates
+// (operation counts), never host time or host randomness, so every failure
+// a plan provokes replays identically.
+//
+// The injector plugs into the gctest shadow-model driver through its Inject
+// hook, and into any other workload by calling Tick once per operation.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+
+	"repligc/internal/core"
+	"repligc/internal/heap"
+)
+
+// Action is one kind of injected fault.
+type Action int
+
+const (
+	// ForceCollect invokes the collector as if an allocation had run out
+	// of nursery, forcing a pause at an arbitrary mutator point.
+	ForceCollect Action = iota
+	// ShrinkOld clamps both old-generation semispaces to their current
+	// use plus Arg bytes of slack, so the next promotion or major copy
+	// overflows at an adversarial moment.
+	ShrinkOld
+	// ShrinkNursery clamps the nursery to its current use plus Arg bytes,
+	// forcing the expansion-bound path on the next allocation burst.
+	ShrinkNursery
+	// RestoreHeadroom undoes the shrinks: every space's soft limit is
+	// raised back to its hard capacity.
+	RestoreHeadroom
+	// LogSpike performs Arg logged mutations on an injector-owned object,
+	// growing the mutation log without allocating — adversarial input for
+	// bounded log processing.
+	LogSpike
+	// ForceComplete drives all in-flight incremental collections to
+	// completion (the conservative, non-incremental ending).
+	ForceComplete
+
+	numActions // count sentinel for Adversarial
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ForceCollect:
+		return "force-collect"
+	case ShrinkOld:
+		return "shrink-old"
+	case ShrinkNursery:
+		return "shrink-nursery"
+	case RestoreHeadroom:
+		return "restore-headroom"
+	case LogSpike:
+		return "log-spike"
+	case ForceComplete:
+		return "force-complete"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Event schedules one fault at a deterministic point.
+type Event struct {
+	// AtOp fires the event when the injector's operation counter (one per
+	// Tick) reaches this value; events at the same op fire in plan order.
+	AtOp int64
+	// Action selects the fault.
+	Action Action
+	// Arg is action-specific: bytes of residual slack for the shrink
+	// actions, number of mutations for LogSpike; ignored otherwise.
+	Arg int64
+}
+
+// Plan is a deterministic fault schedule.
+type Plan struct {
+	// Every, when positive, forces a collection on every Every-th Tick —
+	// the "collect at every Kth allocation" torture mode.
+	Every int64
+	// Events fire when the operation counter reaches each AtOp; they must
+	// be sorted by AtOp (Adversarial returns them sorted).
+	Events []Event
+}
+
+// splitmix64 advances *s and returns the next value of a fixed, seedable
+// pseudo-random sequence. Using it instead of math/rand keeps the package
+// free of any implicit global state.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Adversarial builds a seeded plan of n events spread over spanOps
+// operations, mixing every action. Shrink slacks are small (0–8 KB) so the
+// plan reliably provokes overflow on small test heaps; the same seed always
+// yields the same plan.
+func Adversarial(seed uint64, n int, spanOps int64) Plan {
+	if spanOps < 1 {
+		spanOps = 1
+	}
+	s := seed
+	evs := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		ev := Event{
+			AtOp:   int64(splitmix64(&s)%uint64(spanOps)) + 1,
+			Action: Action(splitmix64(&s) % uint64(numActions)),
+		}
+		switch ev.Action {
+		case ShrinkOld, ShrinkNursery:
+			ev.Arg = int64(splitmix64(&s) % (8 << 10))
+		case LogSpike:
+			ev.Arg = int64(splitmix64(&s)%512) + 32
+		}
+		evs = append(evs, ev)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].AtOp < evs[j].AtOp })
+	return Plan{Events: evs}
+}
+
+// Injector applies a Plan to a running mutator. It registers itself as a
+// root source (the LogSpike target object must stay live).
+type Injector struct {
+	M    *core.Mutator
+	plan Plan
+
+	ops   int64
+	next  int        // cursor into plan.Events
+	spike heap.Value // LogSpike's mutation target
+
+	// Injected counts events applied so far.
+	Injected int
+}
+
+// New attaches a plan to m.
+func New(m *core.Mutator, plan Plan) *Injector {
+	in := &Injector{M: m, plan: plan}
+	m.Roots.Register(in)
+	return in
+}
+
+// VisitRoots exposes the injector's one heap pointer.
+func (in *Injector) VisitRoots(v core.RootVisitor) { v(&in.spike) }
+
+// Ops reports how many operations have ticked.
+func (in *Injector) Ops() int64 { return in.ops }
+
+// Tick advances the operation counter and applies every due event. It
+// returns the first error an injected fault provoked — always the typed
+// *core.OOMError when the fault exhausted the heap.
+func (in *Injector) Tick() error {
+	in.ops++
+	if in.plan.Every > 0 && in.ops%in.plan.Every == 0 {
+		if err := in.apply(Event{Action: ForceCollect}); err != nil {
+			return err
+		}
+	}
+	for in.next < len(in.plan.Events) && in.plan.Events[in.next].AtOp <= in.ops {
+		ev := in.plan.Events[in.next]
+		in.next++
+		if err := in.apply(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Injector) apply(ev Event) error {
+	in.Injected++
+	m := in.M
+	h := m.H
+	switch ev.Action {
+	case ForceCollect:
+		return m.GC.CollectForAlloc(m, 0)
+	case ShrinkOld:
+		h.OldFrom().SetLimitBytes(h.OldFrom().UsedBytes() + ev.Arg)
+		h.OldTo().SetLimitBytes(h.OldTo().UsedBytes() + ev.Arg)
+		return nil
+	case ShrinkNursery:
+		h.Nursery.SetLimitBytes(h.Nursery.UsedBytes() + ev.Arg)
+		return nil
+	case RestoreHeadroom:
+		for _, s := range []*heap.Space{&h.Nursery, h.OldFrom(), h.OldTo()} {
+			s.SetLimitBytes(int64(s.Cap-s.Lo) * heap.BytesPerWord)
+		}
+		return nil
+	case LogSpike:
+		if in.spike == heap.Nil {
+			p, err := m.Alloc(heap.KindArray, 8)
+			if err != nil {
+				return err
+			}
+			in.spike = p
+		}
+		n := ev.Arg
+		if n <= 0 {
+			n = 64
+		}
+		for i := int64(0); i < n; i++ {
+			m.Set(in.spike, int(i%8), heap.FromInt(i))
+		}
+		return nil
+	case ForceComplete:
+		return m.GC.FinishCycles(m)
+	}
+	return fmt.Errorf("faultinject: unknown action %v", ev.Action)
+}

@@ -1,0 +1,138 @@
+package faultinject_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repligc/internal/core"
+	"repligc/internal/faultinject"
+	"repligc/internal/gctest"
+	"repligc/internal/heap"
+	"repligc/internal/simtime"
+	"repligc/internal/stopcopy"
+)
+
+// newRT builds a replicating-collector run on a heap of the given sizes.
+func newRT(nursery, old int64, incremental bool) (*core.Mutator, core.Collector) {
+	h := heap.New(heap.Config{NurseryBytes: nursery, NurseryCapBytes: 4 * nursery, OldSemiBytes: old})
+	m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogAllMutations)
+	gc := core.NewReplicating(h, core.Config{
+		NurseryBytes:        nursery,
+		MajorThresholdBytes: old / 4,
+		CopyLimitBytes:      4 << 10,
+		IncrementalMinor:    incremental,
+		IncrementalMajor:    incremental,
+	})
+	m.AttachGC(gc)
+	return m, gc
+}
+
+func newSC(nursery, old int64) (*core.Mutator, core.Collector) {
+	h := heap.New(heap.Config{NurseryBytes: nursery, NurseryCapBytes: 4 * nursery, OldSemiBytes: old})
+	m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), core.LogPointersOnly)
+	gc := stopcopy.New(h, stopcopy.Config{NurseryBytes: nursery, MajorThresholdBytes: old / 4})
+	m.AttachGC(gc)
+	return m, gc
+}
+
+func TestAdversarialPlanIsDeterministic(t *testing.T) {
+	a := faultinject.Adversarial(42, 64, 5000)
+	b := faultinject.Adversarial(42, 64, 5000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	c := faultinject.Adversarial(43, 64, 5000)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].AtOp < a.Events[i-1].AtOp {
+			t.Fatal("events not sorted by AtOp")
+		}
+	}
+}
+
+// runOnce drives one seeded torture run under plan and reports how far it
+// got, the error (if any) and the surviving graph's fingerprint.
+func runOnce(t *testing.T, mk func() (*core.Mutator, core.Collector), plan faultinject.Plan) (int, string, uint64) {
+	t.Helper()
+	m, _ := mk()
+	d := gctest.NewDriver(m, 9)
+	in := faultinject.New(m, plan)
+	d.Inject = in.Tick
+	errStr := ""
+	if err := d.Step(4000); err != nil {
+		errStr = err.Error()
+	}
+	return d.Ops, errStr, d.Fingerprint()
+}
+
+func TestInjectedRunsReplayIdentically(t *testing.T) {
+	plan := faultinject.Adversarial(7, 48, 3000)
+	mk := func() (*core.Mutator, core.Collector) { return newRT(32<<10, 256<<10, true) }
+	ops1, err1, fp1 := runOnce(t, mk, plan)
+	ops2, err2, fp2 := runOnce(t, mk, plan)
+	if ops1 != ops2 || err1 != err2 || fp1 != fp2 {
+		t.Fatalf("same plan diverged: ops %d/%d err %q/%q fp %#x/%#x",
+			ops1, ops2, err1, err2, fp1, fp2)
+	}
+}
+
+func TestEveryKthOpForcesCollections(t *testing.T) {
+	m, gc := newRT(64<<10, 4<<20, true)
+	d := gctest.NewDriver(m, 11)
+	in := faultinject.New(m, faultinject.Plan{Every: 25})
+	d.Inject = in.Tick
+	if err := d.Step(2000); err != nil {
+		t.Fatalf("torture run failed on a roomy heap: %v", err)
+	}
+	if got := gc.Stats().MinorCollections; got < 50 {
+		t.Fatalf("Every=25 over 2000 ops forced only %d minor collections", got)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.AuditHeap(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdversarialFaultsYieldTypedOOM shrinks headroom at seeded points on a
+// small heap under every collector shape: whatever fails must fail with the
+// typed *core.OOMError, and the heap must stay auditable afterwards.
+func TestAdversarialFaultsYieldTypedOOM(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (*core.Mutator, core.Collector)
+	}{
+		{"replicating-incremental", func() (*core.Mutator, core.Collector) { return newRT(16<<10, 96<<10, true) }},
+		{"replicating-stw", func() (*core.Mutator, core.Collector) { return newRT(16<<10, 96<<10, false) }},
+		{"stopcopy", func() (*core.Mutator, core.Collector) { return newSC(16<<10, 96<<10) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 4; seed++ {
+				m, _ := tc.mk()
+				d := gctest.NewDriver(m, int64(seed))
+				in := faultinject.New(m, faultinject.Adversarial(seed, 64, 2000))
+				d.Inject = in.Tick
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("seed %d: collector panicked on exhaustion: %v", seed, r)
+						}
+					}()
+					return d.Step(3000)
+				}()
+				if err != nil {
+					if _, ok := core.AsOOM(err); !ok {
+						t.Fatalf("seed %d: error is not a typed OOM: %v", seed, err)
+					}
+				}
+				if err := core.AuditHeap(m); err != nil {
+					t.Fatalf("seed %d: heap not auditable after injected faults: %v", seed, err)
+				}
+			}
+		})
+	}
+}

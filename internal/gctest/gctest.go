@@ -55,6 +55,12 @@ type Driver struct {
 
 	// Ops counts operations performed.
 	Ops int
+
+	// Inject, when set, runs before every operation. A fault-injection
+	// plan (internal/faultinject) uses it to shrink spaces, force
+	// collections or spike the mutation log at deterministic points; any
+	// error it returns aborts Step with that error.
+	Inject func() error
 }
 
 // NewDriver attaches a torture driver to m, seeding its PRNG with seed so
@@ -76,8 +82,10 @@ func (d *Driver) pickRoot() int {
 	return d.rng.Intn(len(d.roots.slots))
 }
 
-// allocObject allocates a random object and roots it.
-func (d *Driver) allocObject() {
+// allocObject allocates a random object and roots it. Heap exhaustion is
+// returned, not panicked: the exhaustion-matrix tests drive the driver into
+// OOM on purpose and assert the error is typed.
+func (d *Driver) allocObject() error {
 	kinds := []heap.Kind{heap.KindRecord, heap.KindRef, heap.KindArray, heap.KindString, heap.KindBytes, heap.KindClosure}
 	k := kinds[d.rng.Intn(len(kinds))]
 	switch k {
@@ -88,10 +96,17 @@ func (d *Driver) allocObject() {
 			b[i] = byte(d.rng.Intn(256))
 		}
 		var p heap.Value
+		var err error
 		if k == heap.KindString {
-			p = d.M.AllocString(b)
+			p, err = d.M.AllocString(b)
+			if err != nil {
+				return err
+			}
 		} else {
-			p = d.M.AllocBytes(n)
+			p, err = d.M.AllocBytes(n)
+			if err != nil {
+				return err
+			}
 			// Fill via the (logged) byte-mutation path.
 			for i, c := range b {
 				d.M.SetByte(p, i, c)
@@ -119,7 +134,10 @@ func (d *Driver) allocObject() {
 				picks[i] = pick{rootIdx: -1, imm: heap.FromInt(v), sh: intShadow(v)}
 			}
 		}
-		p := d.M.Alloc(k, n)
+		p, err := d.M.Alloc(k, n)
+		if err != nil {
+			return err
+		}
 		for i, pk := range picks {
 			if pk.rootIdx >= 0 {
 				d.M.Init(p, i, d.roots.slots[pk.rootIdx])
@@ -131,6 +149,7 @@ func (d *Driver) allocObject() {
 		}
 		d.addRoot(p, nodeShadow(node))
 	}
+	return nil
 }
 
 func (d *Driver) addRoot(p heap.Value, s Shadow) {
@@ -211,13 +230,23 @@ func (d *Driver) dropRoot() {
 // root scanning dominate every pause and distort pause-time measurements.
 const maxRoots = 512
 
-// Step performs n random operations.
-func (d *Driver) Step(n int) {
+// Step performs n random operations. It stops at the first error — either
+// from the Inject hook or from an allocation that exhausted the heap — so
+// the driver's shadow graph stays consistent with everything that actually
+// happened.
+func (d *Driver) Step(n int) error {
 	for k := 0; k < n; k++ {
 		d.Ops++
+		if d.Inject != nil {
+			if err := d.Inject(); err != nil {
+				return err
+			}
+		}
 		switch r := d.rng.Intn(10); {
 		case r < 5:
-			d.allocObject()
+			if err := d.allocObject(); err != nil {
+				return err
+			}
 		case r < 8:
 			d.mutate()
 		default:
@@ -228,6 +257,7 @@ func (d *Driver) Step(n int) {
 		}
 		d.M.Step(3)
 	}
+	return nil
 }
 
 // Verify walks the heap from the driver's roots in lockstep with the shadow

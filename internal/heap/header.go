@@ -44,6 +44,7 @@ func (k Kind) Mutable() bool {
 	case KindRecord, KindClosure, KindString:
 		return false
 	}
+	//gclint:allow panicpath -- invariant: an out-of-range kind is heap corruption, not resource exhaustion
 	panic(fmt.Sprintf("heap: Mutable on invalid kind %d", int(k)))
 }
 
@@ -59,6 +60,7 @@ func (k Kind) HasPointers() bool {
 	case KindString, KindBytes:
 		return false
 	}
+	//gclint:allow panicpath -- invariant: an out-of-range kind is heap corruption, not resource exhaustion
 	panic(fmt.Sprintf("heap: HasPointers on invalid kind %d", int(k)))
 }
 
@@ -75,6 +77,7 @@ type Header uint64
 // is n (words for word kinds, bytes for KindString/KindBytes).
 func MakeHeader(k Kind, n int) Header {
 	if n < 0 {
+		//gclint:allow panicpath -- invariant: a negative length is caller misuse, not resource exhaustion
 		panic("heap: negative object length")
 	}
 	return Header(uint64(n)<<8 | uint64(k)<<1 | 1)

@@ -37,6 +37,7 @@ type Heap struct {
 // New builds a heap from cfg.
 func New(cfg Config) *Heap {
 	if cfg.NurseryBytes <= 0 || cfg.OldSemiBytes <= 0 {
+		//gclint:allow panicpath -- invariant: construction-time config misuse, not resource exhaustion
 		panic("heap: non-positive space size")
 	}
 	if cfg.NurseryCapBytes < cfg.NurseryBytes {
@@ -111,6 +112,7 @@ func (h *Heap) ForwardAddr(p Value) Value { return h.RawHeader(p) }
 // the mutator can keep using the original.
 func (h *Heap) SetForward(p, dst Value) {
 	if !dst.IsPtr() {
+		//gclint:allow panicpath -- invariant: a non-pointer forwarding word is collector corruption
 		panic("heap: forwarding to non-pointer")
 	}
 	h.Arena[p.index()-1] = dst
@@ -183,6 +185,7 @@ func (h *Heap) SetBytes(p Value, b []byte) {
 func (h *Heap) CopyObject(src Value, dst *Space) (Value, bool) {
 	hdr := Header(h.RawHeader(src))
 	if !IsHeader(Value(hdr)) {
+		//gclint:allow panicpath -- invariant: callers check IsForwarded before copying
 		panic("heap: CopyObject on forwarded object")
 	}
 	need := uint64(hdr.SizeWords())
@@ -206,6 +209,7 @@ func (h *Heap) WalkObjects(s *Space, f func(p Value, hdr Header) bool) {
 	for idx < s.Next {
 		w := h.Arena[idx]
 		if !IsHeader(w) {
+			//gclint:allow panicpath -- invariant: walked spaces hold replicas, which are never forwarded
 			panic(fmt.Sprintf("heap: WalkObjects hit forwarding pointer at %#x in %s", idx, s.Name))
 		}
 		hdr := Header(w)

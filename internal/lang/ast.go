@@ -73,7 +73,7 @@ func imm(v int64) kidArg       { return kidArg{imm: heap.FromInt(v), raw: true} 
 // only after the allocation, so a collection triggered by Alloc cannot
 // invalidate them.
 func newNode(m *core.Mutator, tag Tag, pos Pos, kids ...kidArg) core.Handle {
-	p := m.Alloc(heap.KindRecord, 2+len(kids))
+	p := m.MustAlloc(heap.KindRecord, 2+len(kids))
 	m.Init(p, 0, heap.FromInt(int64(tag)))
 	m.Init(p, 1, heap.FromInt(packPos(pos)))
 	for i, k := range kids {
@@ -114,7 +114,7 @@ func listNil(m *core.Mutator) core.Handle { return m.PushHandle(heap.FromInt(0))
 
 // listCons allocates a cons cell (head, tail given as handles).
 func listCons(m *core.Mutator, head, tail core.Handle) core.Handle {
-	p := m.Alloc(heap.KindRecord, 2)
+	p := m.MustAlloc(heap.KindRecord, 2)
 	m.Init(p, 0, m.HandleVal(head))
 	m.Init(p, 1, m.HandleVal(tail))
 	m.Step(2)

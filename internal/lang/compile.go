@@ -77,10 +77,23 @@ type Compiler struct {
 	bufs     *bufRoots
 }
 
-// Compile parses and compiles one MiniML program.
-func Compile(m *core.Mutator, src string) (*bytecode.Program, error) {
+// Compile parses and compiles one MiniML program. Heap exhaustion while
+// compiling (the compiler's working data lives on the simulated heap)
+// surfaces as the typed *core.OOMError, not a panic: the deeply recursive
+// compiler allocates through the Must variants and this boundary recovers
+// them — the text/template idiom for error returns across recursion.
+func Compile(m *core.Mutator, src string) (prog *bytecode.Program, err error) {
 	mark := m.HandleMark()
 	defer m.PopHandles(mark)
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && core.IsOOM(e) {
+				prog, err = nil, e
+				return
+			}
+			panic(r)
+		}
+	}()
 
 	syms := NewSymTab(m)
 	root, lits, err := Parse(m, syms, src)
@@ -106,7 +119,7 @@ func Compile(m *core.Mutator, src string) (*bytecode.Program, error) {
 	}
 	entry.emit(m, bytecode.Instr{Op: bytecode.OpHalt})
 
-	prog := &bytecode.Program{Strings: c.literals, Entry: 0}
+	prog = &bytecode.Program{Strings: c.literals, Entry: 0}
 	for _, b := range c.blocks {
 		prog.Blocks = append(prog.Blocks, b.assemble(m))
 	}
@@ -121,7 +134,7 @@ func (c *Compiler) scopeBind(scope core.Handle, sym int32, boxed bool) core.Hand
 	if boxed {
 		tag |= 1
 	}
-	p := c.m.Alloc(heap.KindRecord, 2)
+	p := c.m.MustAlloc(heap.KindRecord, 2)
 	c.m.Init(p, 0, heap.FromInt(tag))
 	c.m.Init(p, 1, c.m.HandleVal(scope))
 	c.m.Step(2)

@@ -50,7 +50,7 @@ const flushThreshold = 8 * bytecode.EncodedSize
 // newBlockBuf allocates a fresh code buffer rooted in roots.
 func newBlockBuf(m *core.Mutator, roots *bufRoots, name string) *blockBuf {
 	b := &blockBuf{name: name, roots: roots, cap: initialBlockCap}
-	p := m.AllocBytes(b.cap)
+	p := m.MustAllocBytes(b.cap)
 	b.idx = len(roots.slots)
 	roots.slots = append(roots.slots, p)
 	return b
@@ -92,7 +92,7 @@ func (b *blockBuf) emit(m *core.Mutator, ins bytecode.Instr) int {
 // grow doubles the buffer, copying through the heap byte paths.
 func (b *blockBuf) grow(m *core.Mutator) {
 	newCap := b.cap * 2
-	np := m.AllocBytes(newCap)
+	np := m.MustAllocBytes(newCap)
 	// np is freshly allocated; the old buffer is still rooted, so
 	// re-reading it after the allocation is safe.
 	op := b.obj()

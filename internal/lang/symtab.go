@@ -35,7 +35,7 @@ func (s *SymTab) Intern(name string) int32 {
 	s.names = append(s.names, name)
 
 	mark := s.m.HandleMark()
-	hs := s.m.PushHandle(s.m.AllocString([]byte(name)))
+	hs := s.m.PushHandle(s.m.MustAllocString([]byte(name)))
 	cell := listCons(s.m, hs, s.strs)
 	s.m.SetHandleVal(s.strs, s.m.HandleVal(cell))
 	s.m.PopHandles(mark)

@@ -9,8 +9,6 @@
 package stopcopy
 
 import (
-	"fmt"
-
 	"repligc/internal/core"
 	"repligc/internal/heap"
 	"repligc/internal/policy"
@@ -42,6 +40,18 @@ type Collector struct {
 
 	replay      *policy.Cursor
 	forcedMajor bool
+
+	// Degradation-ladder state. promoHighWater is the largest volume one
+	// minor collection has promoted; when old-space headroom falls below
+	// the nursery contents plus this reserve, the next pause runs a major
+	// regardless of the threshold O. wedged records a mid-collection
+	// overflow: stop-and-copy forwarding is destructive and a partially
+	// copied collection cannot be resumed, so the collector fails every
+	// subsequent request with the same typed error rather than corrupt
+	// the heap (which stays auditable — originals keep their payloads and
+	// forwarding words are legal mid-collection).
+	promoHighWater int64
+	wedged         *core.OOMError
 }
 
 // New builds the baseline collector over h.
@@ -76,31 +86,74 @@ func (c *Collector) NoteOldAlloc(p heap.Value, hdr heap.Header) {
 }
 
 // FinishCycles implements core.Collector; stop-and-copy collections always
-// complete within their pause, so there is nothing to finish.
-func (c *Collector) FinishCycles(m *core.Mutator) {}
+// complete within their pause, so there is nothing to finish — unless a
+// prior collection wedged, which stays reportable here.
+func (c *Collector) FinishCycles(m *core.Mutator) error {
+	if c.wedged != nil {
+		return c.wedged
+	}
+	return nil
+}
 
 // CollectForAlloc implements core.Collector: one stop-the-world pause
 // containing a minor collection and, when the promotion threshold (or the
 // replay script) says so, a major collection. Minor+major happen under a
 // single pause, which is exactly what produces the long baseline pauses of
 // the paper's figure 6.
-func (c *Collector) CollectForAlloc(m *core.Mutator, needWords int) {
+func (c *Collector) CollectForAlloc(m *core.Mutator, needWords int) error {
+	return c.pause(m, false)
+}
+
+// CollectEmergency implements core.EmergencyCollector: a stop-the-world
+// pause with a forced major collection, compacting the old generation so a
+// failed direct allocation can retry.
+func (c *Collector) CollectEmergency(m *core.Mutator) error {
+	c.stats.EmergencyCollections++
+	return c.pause(m, true)
+}
+
+// pause runs one stop-the-world collection. The pause is charged and
+// recorded even when it ends in a typed exhaustion error, so degraded runs
+// report honest long pauses.
+func (c *Collector) pause(m *core.Mutator, emergency bool) error {
+	if c.wedged != nil {
+		return c.wedged
+	}
 	m.Clock.BeginPause()
 	at := m.Clock.Now()
 	start := c.stats.TotalBytesCopied()
 	logStart := c.stats.LogScanned
 	c.stats.PauseCount++
 
-	c.minorCollect(m)
-
-	major := c.cfg.MajorThresholdBytes > 0 && c.promotedSinceMajor >= c.cfg.MajorThresholdBytes
-	if c.replay != nil {
-		major = c.forcedMajor
+	// Degradation ladder, headroom reservation: when the old space cannot
+	// absorb a worst-case minor collection (the whole nursery) plus the
+	// recorded high-water mark as reserve, run a major this pause even if
+	// the threshold O has not been crossed.
+	free := int64(c.h.OldFrom().FreeWords()) * heap.BytesPerWord
+	lowHeadroom := free < c.h.Nursery.UsedBytes()+c.promoHighWater
+	if lowHeadroom && !emergency {
+		c.stats.EmergencyCollections++
+		c.stats.ForcedCompletion++
 	}
+
 	kind := simtime.PauseMinor
-	if major {
-		c.majorCollect(m)
-		kind = simtime.PauseMajor
+	err := c.minorCollect(m)
+
+	if err == nil {
+		major := c.cfg.MajorThresholdBytes > 0 && c.promotedSinceMajor >= c.cfg.MajorThresholdBytes
+		if c.replay != nil {
+			major = c.forcedMajor
+		}
+		if emergency || lowHeadroom {
+			major = true
+		}
+		if major {
+			kind = simtime.PauseMajor
+			err = c.majorCollect(m)
+		}
+	}
+	if err != nil {
+		c.wedged, _ = core.AsOOM(err)
 	}
 
 	length := m.Clock.EndPause()
@@ -109,28 +162,44 @@ func (c *Collector) CollectForAlloc(m *core.Mutator, needWords int) {
 		CopiedB:  c.stats.TotalBytesCopied() - start,
 		LogProcN: c.stats.LogScanned - logStart,
 	})
+	return err
 }
 
 // forward destructively copies the object at v into dst (unless already
-// forwarded) and returns the to-space address.
-func (c *Collector) forward(m *core.Mutator, v heap.Value, dst *heap.Space, acct simtime.Account, copied *int64) heap.Value {
+// forwarded) and returns the to-space address. Overflow surfaces as a
+// typed *core.OOMError with v left unforwarded.
+func (c *Collector) forward(m *core.Mutator, v heap.Value, dst *heap.Space, acct simtime.Account, copied *int64) (heap.Value, error) {
 	h := c.h
 	if h.IsForwarded(v) {
-		return h.ForwardAddr(v)
+		return h.ForwardAddr(v), nil
 	}
 	hdr := heap.Header(h.RawHeader(v))
 	replica, ok := h.CopyObject(v, dst)
 	if !ok {
-		panic(fmt.Sprintf("stopcopy: %s exhausted", dst.Name))
+		res := core.OOMPromotion
+		if dst == h.OldTo() {
+			res = core.OOMToSpace
+		}
+		return heap.Nil, &core.OOMError{
+			Resource:  res,
+			Collector: c.Name(),
+			Space:     dst.Name,
+			Request:   hdr.SizeBytes(),
+			Free:      int64(dst.FreeWords()) * heap.BytesPerWord,
+			Limit:     dst.LimitBytes(),
+			Degraded:  true, // stop-and-copy has no smaller increment to fall back to
+		}
 	}
 	h.SetForward(v, replica)
 	*copied += hdr.SizeBytes()
 	m.Clock.Charge(acct, simtime.Duration(hdr.SizeWords())*m.Cost.CopyWord)
-	return replica
+	return replica, nil
 }
 
-// minorCollect copies live nursery data into the old generation.
-func (c *Collector) minorCollect(m *core.Mutator) {
+// minorCollect copies live nursery data into the old generation. On a
+// typed overflow error the nursery is NOT reset: every original keeps its
+// payload and the heap stays auditable (the collector wedges — see pause).
+func (c *Collector) minorCollect(m *core.Mutator) error {
 	h := c.h
 	from := &h.Nursery
 	to := h.OldFrom()
@@ -149,24 +218,46 @@ func (c *Collector) minorCollect(m *core.Mutator) {
 		}
 		v := h.Load(e.Obj, int(e.Slot))
 		if from.Contains(v) {
-			h.Store(e.Obj, int(e.Slot), c.forward(m, v, to, simtime.AcctMinorCopy, &c.stats.BytesCopiedMinor))
+			nv, err := c.forward(m, v, to, simtime.AcctMinorCopy, &c.stats.BytesCopiedMinor)
+			if err != nil {
+				return err
+			}
+			h.Store(e.Obj, int(e.Slot), nv)
 		}
 	}
 
 	// Roots.
+	var visitErr error
 	n := m.Roots.Visit(func(slot *heap.Value) {
+		if visitErr != nil {
+			return
+		}
 		v := *slot
 		if from.Contains(v) {
-			*slot = c.forward(m, v, to, simtime.AcctMinorCopy, &c.stats.BytesCopiedMinor)
+			nv, err := c.forward(m, v, to, simtime.AcctMinorCopy, &c.stats.BytesCopiedMinor)
+			if err != nil {
+				visitErr = err
+				return
+			}
+			*slot = nv
 		}
 	})
 	c.stats.RootSlotUpdates += int64(n)
 	m.Clock.Charge(simtime.AcctRootScan, simtime.Duration(n)*m.Cost.RootUpdate)
+	if visitErr != nil {
+		return visitErr
+	}
 
 	// Cheney scan of the promotion region.
-	c.cheney(m, from, to, simtime.AcctMinorCopy, &c.stats.BytesCopiedMinor)
+	if err := c.cheney(m, from, to, simtime.AcctMinorCopy, &c.stats.BytesCopiedMinor); err != nil {
+		return err
+	}
 
-	c.promotedSinceMajor += c.stats.BytesCopiedMinor - copiedBefore
+	promoted := c.stats.BytesCopiedMinor - copiedBefore
+	c.promotedSinceMajor += promoted
+	if promoted > c.promoHighWater {
+		c.promoHighWater = promoted // feeds the headroom reservation
+	}
 
 	h.Nursery.Reset()
 	c.stats.MinorCollections++
@@ -174,14 +265,16 @@ func (c *Collector) minorCollect(m *core.Mutator) {
 	m.Log.TrimTo(m.Log.Len())
 	c.logCursor = m.Log.Len()
 	c.setNextNurseryLimit(m)
+	return nil
 }
 
 // cheney scans to-space from c.scan, forwarding every from-space referent.
-func (c *Collector) cheney(m *core.Mutator, from, to *heap.Space, acct simtime.Account, copied *int64) {
+func (c *Collector) cheney(m *core.Mutator, from, to *heap.Space, acct simtime.Account, copied *int64) error {
 	h := c.h
 	for c.scan < to.Next {
 		w := h.Arena[c.scan]
 		if !heap.IsHeader(w) {
+			//gclint:allow panicpath -- invariant: to-space holds replicas, which are never forwarded
 			panic("stopcopy: scan hit forwarded object in to-space")
 		}
 		hdr := heap.Header(w)
@@ -191,41 +284,62 @@ func (c *Collector) cheney(m *core.Mutator, from, to *heap.Space, acct simtime.A
 			for i := 0; i < hdr.Len(); i++ {
 				v := h.Load(p, i)
 				if from.Contains(v) {
-					h.Store(p, i, c.forward(m, v, to, acct, copied))
+					nv, err := c.forward(m, v, to, acct, copied)
+					if err != nil {
+						return err
+					}
+					h.Store(p, i, nv)
 				}
 			}
 		}
 		c.scan += uint64(hdr.SizeWords())
 	}
+	return nil
 }
 
 // majorCollect copies all live old-generation data into the reserve
 // semispace and swaps. It runs right after a minor collection, so the
 // nursery is empty and the mutator roots are the only root set.
-func (c *Collector) majorCollect(m *core.Mutator) {
+func (c *Collector) majorCollect(m *core.Mutator) error {
 	h := c.h
 	if h.Nursery.UsedWords() != 0 {
+		//gclint:allow panicpath -- invariant: majors only run right after a minor emptied the nursery
 		panic("stopcopy: major collection with non-empty nursery")
 	}
 	from := h.OldFrom()
 	to := h.OldTo()
 	c.scan = to.Next
 
+	var visitErr error
 	n := m.Roots.Visit(func(slot *heap.Value) {
+		if visitErr != nil {
+			return
+		}
 		v := *slot
 		if from.Contains(v) {
-			*slot = c.forward(m, v, to, simtime.AcctMajorCopy, &c.stats.BytesCopiedMajor)
+			nv, err := c.forward(m, v, to, simtime.AcctMajorCopy, &c.stats.BytesCopiedMajor)
+			if err != nil {
+				visitErr = err
+				return
+			}
+			*slot = nv
 		}
 	})
 	c.stats.RootSlotUpdates += int64(n)
 	m.Clock.Charge(simtime.AcctRootScan, simtime.Duration(n)*m.Cost.RootUpdate)
+	if visitErr != nil {
+		return visitErr
+	}
 
-	c.cheney(m, from, to, simtime.AcctMajorCopy, &c.stats.BytesCopiedMajor)
+	if err := c.cheney(m, from, to, simtime.AcctMajorCopy, &c.stats.BytesCopiedMajor); err != nil {
+		return err
+	}
 
 	h.SwapOld()
 	c.promotedSinceMajor = 0
 	c.stats.MajorCollections++
 	c.forcedMajor = false
+	return nil
 }
 
 // setNextNurseryLimit applies the configured N or the replayed delta.

@@ -98,15 +98,52 @@ type VM struct {
 }
 
 // New loads prog into a VM over m. The VM registers itself as a root
-// source; the literal pool is allocated up front.
+// source; the literal pool is allocated up front. If the heap is already
+// too small for the literal pool the VM is constructed halted, and Run
+// reports the typed *core.OOMError.
 func New(m *core.Mutator, prog *bytecode.Program) *VM {
 	v := &VM{m: m, prog: prog}
 	m.Roots.Register(v)
 	for _, s := range prog.Strings {
-		v.strings = append(v.strings, m.AllocString([]byte(s)))
+		p, err := m.AllocString([]byte(s))
+		if err != nil {
+			v.err = fmt.Errorf("miniml literal pool: %w", err)
+			v.halted = true
+			return v
+		}
+		v.strings = append(v.strings, p)
 	}
 	v.threads = append(v.threads, &Thread{id: 0, block: prog.Entry, env: heap.FromInt(0)})
 	return v
+}
+
+// oom records heap exhaustion as the machine's terminal error. The typed
+// *core.OOMError stays extractable through errors.As; the machine halts —
+// a MiniML program cannot observe or recover a failed allocation.
+func (v *VM) oom(t *Thread, err error) {
+	v.err = fmt.Errorf("miniml heap exhausted at block %d pc %d: %w", t.block, t.pc, err)
+	v.halted = true
+}
+
+// alloc allocates on behalf of the running thread; ok reports success.
+// On exhaustion the VM halts with the allocator's typed error.
+func (v *VM) alloc(t *Thread, k heap.Kind, n int) (heap.Value, bool) {
+	p, err := v.m.Alloc(k, n)
+	if err != nil {
+		v.oom(t, err)
+		return heap.Nil, false
+	}
+	return p, true
+}
+
+// allocString is alloc for string payloads.
+func (v *VM) allocString(t *Thread, b []byte) (heap.Value, bool) {
+	p, err := v.m.AllocString(b)
+	if err != nil {
+		v.oom(t, err)
+		return heap.Nil, false
+	}
+	return p, true
 }
 
 // VisitRoots exposes every heap pointer the VM holds.
@@ -253,7 +290,10 @@ func (v *VM) runSlice(t *Thread, quantum int) {
 		case bytecode.OpClosure:
 			// Captures sit on the stack, first free variable deepest.
 			n := int(ins.B)
-			p := m.Alloc(heap.KindClosure, 1+n)
+			p, ok := v.alloc(t, heap.KindClosure, 1+n)
+			if !ok {
+				return
+			}
 			m.Init(p, 0, heap.FromInt(int64(ins.A)))
 			for i := 0; i < n; i++ {
 				m.Init(p, 1+i, t.peek(n-1-i))
@@ -269,7 +309,10 @@ func (v *VM) runSlice(t *Thread, quantum int) {
 				return
 			}
 			savedSP := len(t.stack) - 2
-			f := m.Alloc(heap.KindRecord, frameSlots)
+			f, ok := v.alloc(t, heap.KindRecord, frameSlots)
+			if !ok {
+				return
+			}
 			m.Init(f, framePrev, t.frame)
 			m.Init(f, frameEnv, t.env)
 			m.Init(f, frameClo, t.clo)
@@ -277,7 +320,10 @@ func (v *VM) runSlice(t *Thread, quantum int) {
 			m.Init(f, framePC, heap.FromInt(int64(t.pc)))
 			m.Init(f, frameSP, heap.FromInt(int64(savedSP)))
 			t.push(f)
-			e := m.Alloc(heap.KindRecord, 2)
+			e, ok := v.alloc(t, heap.KindRecord, 2)
+			if !ok {
+				return
+			}
 			f = t.pop()
 			arg, clo := t.pop(), t.pop()
 			m.Init(e, 0, heap.FromInt(0)) // base of the callee's local chain
@@ -293,7 +339,10 @@ func (v *VM) runSlice(t *Thread, quantum int) {
 			if !v.checkClosure(t, t.peek(1), "tail call") {
 				return
 			}
-			e := m.Alloc(heap.KindRecord, 2)
+			e, ok := v.alloc(t, heap.KindRecord, 2)
+			if !ok {
+				return
+			}
 			arg, clo := t.pop(), t.pop()
 			m.Init(e, 0, heap.FromInt(0))
 			m.Init(e, 1, arg)
@@ -353,7 +402,10 @@ func (v *VM) runSlice(t *Thread, quantum int) {
 
 		case bytecode.OpMkTuple:
 			n := int(ins.A)
-			p := m.Alloc(heap.KindRecord, n)
+			p, ok := v.alloc(t, heap.KindRecord, n)
+			if !ok {
+				return
+			}
 			for i := 0; i < n; i++ {
 				m.Init(p, i, t.peek(n-1-i))
 			}
@@ -374,7 +426,10 @@ func (v *VM) runSlice(t *Thread, quantum int) {
 			t.push(m.Get(tup, int(ins.A)))
 
 		case bytecode.OpMkRef:
-			p := m.Alloc(heap.KindRef, 1)
+			p, ok := v.alloc(t, heap.KindRef, 1)
+			if !ok {
+				return
+			}
 			m.Init(p, 0, t.peek(0))
 			t.pop()
 			t.push(p)
@@ -405,7 +460,10 @@ func (v *VM) runSlice(t *Thread, quantum int) {
 				return
 			}
 			n := int(nv.Int())
-			p := m.Alloc(heap.KindArray, n)
+			p, ok := v.alloc(t, heap.KindArray, n)
+			if !ok {
+				return
+			}
 			init = t.peek(0) // re-read after allocation
 			for i := 0; i < n; i++ {
 				m.Init(p, i, init)
@@ -453,14 +511,20 @@ func (v *VM) runSlice(t *Thread, quantum int) {
 			t.push(heap.FromInt(int64(m.Length(arr))))
 
 		case bytecode.OpBind:
-			e := m.Alloc(heap.KindRecord, 2)
+			e, ok := v.alloc(t, heap.KindRecord, 2)
+			if !ok {
+				return
+			}
 			m.Init(e, 0, t.env)
 			m.Init(e, 1, t.peek(0))
 			t.pop()
 			t.env = e
 
 		case bytecode.OpBindHole:
-			e := m.Alloc(heap.KindRef, 2)
+			e, ok := v.alloc(t, heap.KindRef, 2)
+			if !ok {
+				return
+			}
 			m.Init(e, 0, t.env)
 			m.Init(e, 1, heap.FromInt(0))
 			t.env = e
@@ -544,7 +608,11 @@ func (v *VM) runSlice(t *Thread, quantum int) {
 				v.fail(t, "itos of non-integer")
 				return
 			}
-			t.push(m.AllocString([]byte(strconv.FormatInt(x.Int(), 10))))
+			s, ok := v.allocString(t, []byte(strconv.FormatInt(x.Int(), 10)))
+			if !ok {
+				return
+			}
+			t.push(s)
 
 		case bytecode.OpStoI:
 			s := t.pop()
@@ -582,7 +650,10 @@ func (v *VM) runSlice(t *Thread, quantum int) {
 			if !v.checkClosure(t, clo, "spawn") {
 				return
 			}
-			e := m.Alloc(heap.KindRecord, 2)
+			e, ok := v.alloc(t, heap.KindRecord, 2)
+			if !ok {
+				return
+			}
 			clo = t.peek(0)
 			m.Init(e, 0, heap.FromInt(0))
 			m.Init(e, 1, heap.FromInt(0)) // unit argument
@@ -601,7 +672,10 @@ func (v *VM) runSlice(t *Thread, quantum int) {
 			return // end of slice: reschedule
 
 		case bytecode.OpNewSV:
-			p := m.Alloc(heap.KindRef, 2)
+			p, ok := v.alloc(t, heap.KindRef, 2)
+			if !ok {
+				return
+			}
 			m.Init(p, 0, heap.FromInt(0)) // empty
 			m.Init(p, 1, heap.FromInt(0))
 			t.push(p)
@@ -664,7 +738,10 @@ func (v *VM) binop(t *Thread, op bytecode.BinOp) bool {
 	//gclint:allow exhaustive -- partial by design: every operator absent here is an integer operator handled (exhaustively) by the typed switch below
 	switch op {
 	case bytecode.BinCons:
-		p := m.Alloc(heap.KindRecord, 2)
+		p, ok := v.alloc(t, heap.KindRecord, 2)
+		if !ok {
+			return false
+		}
 		m.Init(p, 0, t.peek(1)) // head
 		m.Init(p, 1, t.peek(0)) // tail
 		t.pop()
@@ -679,7 +756,10 @@ func (v *VM) binop(t *Thread, op bytecode.BinOp) bool {
 			return false
 		}
 		buf := append(m.Bytes(a), m.Bytes(b)...)
-		s := m.AllocString(buf)
+		s, ok := v.allocString(t, buf)
+		if !ok {
+			return false
+		}
 		t.pop()
 		t.pop()
 		t.push(s)

@@ -94,7 +94,19 @@ type (
 	BenchSuite = bench.Suite
 	// BenchScale sizes the benchmark workloads.
 	BenchScale = bench.Scale
+
+	// OOMError is the typed heap-exhaustion failure every collector
+	// surfaces when the degradation ladder (forced completion, emergency
+	// major collection) cannot free enough space. Extract it from a
+	// wrapped error chain with AsOOM.
+	OOMError = core.OOMError
 )
+
+// IsOOM reports whether err's chain contains a heap-exhaustion failure.
+func IsOOM(err error) bool { return core.IsOOM(err) }
+
+// AsOOM extracts the typed *OOMError from err's chain.
+func AsOOM(err error) (*OOMError, bool) { return core.AsOOM(err) }
 
 // Object kinds.
 const (
@@ -144,8 +156,8 @@ type RealTimeOptions struct {
 	// Record, when non-nil, accumulates the run's policy script (§4.2);
 	// Replay drives collections from one (see NewStopCopyReplay).
 	Record *Script
-	// HeapConfig overrides the heap sizing (zero value: defaults scaled
-	// to the nursery).
+	// HeapConfig overrides the heap sizing; any zero field keeps its
+	// default (nursery sized from NurseryBytes, 96 MB old semispaces).
 	HeapConfig HeapConfig
 }
 
@@ -170,12 +182,14 @@ func NewRealTime(o RealTimeOptions) (*Runtime, error) {
 		o.CopyLimitBytes = 100 << 10
 	}
 	hc := o.HeapConfig
-	if hc == (HeapConfig{}) {
-		hc = HeapConfig{
-			NurseryBytes:    o.NurseryBytes,
-			NurseryCapBytes: 64 * o.NurseryBytes,
-			OldSemiBytes:    96 << 20,
-		}
+	if hc.NurseryBytes == 0 {
+		hc.NurseryBytes = o.NurseryBytes
+	}
+	if hc.NurseryCapBytes == 0 {
+		hc.NurseryCapBytes = 64 * hc.NurseryBytes
+	}
+	if hc.OldSemiBytes == 0 {
+		hc.OldSemiBytes = 96 << 20
 	}
 	h := heap.New(hc)
 	clock := simtime.NewClock()
@@ -255,8 +269,10 @@ func (r *Runtime) CompileAndRun(src string) (string, error) {
 	return machine.Output.String(), err
 }
 
-// Finish drives any in-progress incremental collection to completion.
-func (r *Runtime) Finish() { r.GC.FinishCycles(r.Mutator) }
+// Finish drives any in-progress incremental collection to completion. A
+// non-nil error is heap exhaustion (IsOOM reports true on it); the heap
+// remains auditable.
+func (r *Runtime) Finish() error { return r.GC.FinishCycles(r.Mutator) }
 
 // StatsSummary renders the collector's statistics in one line.
 func (r *Runtime) StatsSummary() string {
