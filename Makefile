@@ -1,6 +1,6 @@
 # repligc — common tasks. Everything is stdlib-only and offline.
 
-.PHONY: all build lint test race bench experiments quick-experiments examples clean
+.PHONY: all build lint test race bench bench-smoke microbench experiments quick-experiments examples clean
 
 all: build lint test
 
@@ -21,8 +21,21 @@ test:
 race:
 	go test -race ./...
 
-# One testing.B benchmark per paper table/figure, at the quick scale.
+# Regenerate the write-barrier coalescing trajectory at full scale:
+# per-workload baseline-vs-coalesced log and pause metrics plus wall-clock
+# barrier ns/op. The committed BENCH_PR3.json is this target's output.
 bench:
+	go run ./cmd/rtgc-bench -out BENCH_PR3.json perf
+	go run ./cmd/rtgc-bench validate BENCH_PR3.json
+
+# CI's bench smoke: a quick-scale report, validated for schema shape only
+# (never gated on the measured numbers).
+bench-smoke:
+	go run ./cmd/rtgc-bench -quick -out /tmp/bench_smoke.json perf
+	go run ./cmd/rtgc-bench validate /tmp/bench_smoke.json
+
+# One testing.B benchmark per paper table/figure, at the quick scale.
+microbench:
 	go test -bench=. -benchmem -run '^$$' .
 
 # Regenerate every table and figure of the paper at full scale.

@@ -7,6 +7,14 @@
 // Usage:
 //
 //	rtgc-bench [-quick] table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|ablations|all
+//	rtgc-bench [-quick] [-out FILE] perf
+//	rtgc-bench validate FILE
+//
+// "perf" emits the write-barrier coalescing trajectory (BENCH_PR3.json):
+// per-workload baseline-vs-coalesced log and pause metrics in simulated
+// time, plus wall-clock barrier ns/op. "validate" checks a previously
+// emitted report's schema and internal consistency (the CI smoke check —
+// shape only, never thresholds on the numbers).
 package main
 
 import (
@@ -19,20 +27,27 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use the small test-scale workloads")
+	out := flag.String("out", "", "write the perf report to this file instead of stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rtgc-bench [-quick] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "       rtgc-bench [-quick] [-out FILE] perf\n")
+		fmt.Fprintf(os.Stderr, "       rtgc-bench validate FILE\n")
 		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 ablations all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	wantArgs := 1
+	if flag.NArg() > 0 && flag.Arg(0) == "validate" {
+		wantArgs = 2
+	}
+	if flag.NArg() != wantArgs {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	scale := bench.DefaultScale()
+	scale, scaleName := bench.DefaultScale(), "default"
 	if *quick {
-		scale = bench.QuickScale()
+		scale, scaleName = bench.QuickScale(), "quick"
 	}
 	s := bench.NewSuite(scale)
 
@@ -109,6 +124,10 @@ func main() {
 				return err
 			}
 			fmt.Print(bench.FormatLogPolicy(logpol))
+		case "perf":
+			return runPerf(scale, scaleName, *out)
+		case "validate":
+			return runValidate(flag.Arg(1))
 		case "all":
 			for _, e := range []string{"table1", "fig5", "fig7", "fig8", "fig9", "fig10", "table2", "table3", "ablations"} {
 				if err := run(e); err != nil {

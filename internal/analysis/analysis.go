@@ -65,6 +65,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func DefaultRules() []Rule {
 	return []Rule{
 		&BarrierRule{},
+		&BarrierFastRule{},
 		&WallClockRule{},
 		&MapRangeRule{},
 		&ExhaustiveRule{},

@@ -29,6 +29,7 @@ var goldenCases = []struct {
 	{"forwardheap", "repligc/internal/stopcopy"},
 	// Masquerades as a collector package: bare panics are flagged there.
 	{"panicpath", "repligc/internal/heap"},
+	{"fastpath", "repligc/internal/fixfastpath"},
 	{"clean", "repligc/internal/fixclean"},
 	{"badallow", "repligc/internal/fixbadallow"},
 }

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// stampMethods are the Heap dirty-stamp methods whose use means "this store
+// may bypass the logging slow path".
+var stampMethods = map[string]bool{
+	"SlotDirty":      true,
+	"MarkSlotDirty":  true,
+	"WordsDirty":     true,
+	"MarkWordsDirty": true,
+}
+
+// fastpathPrefix marks a function as a reviewed barrier fast path.
+const fastpathPrefix = "//gclint:fastpath"
+
+// BarrierFastRule polices the write-barrier fast path. Coalescing lets a
+// store skip the mutation-log append when a dirty stamp (or nursery
+// residence) proves the skip is safe, but every such bypass rests on a
+// subtle invariant: the log must still retain an unconsumed entry covering
+// the skipped location, at a sequence number no collector cursor has passed.
+// Any function consulting the Heap's dirty-stamp API is making that bet, so
+// it must carry a //gclint:fastpath annotation stating the invariant it
+// relies on — which keeps each bypass an explicit, reviewed claim instead of
+// an optimization someone can quietly extend to a store it does not cover.
+type BarrierFastRule struct{}
+
+// Name implements Rule.
+func (*BarrierFastRule) Name() string { return "barrierfast" }
+
+// Doc implements Rule.
+func (*BarrierFastRule) Doc() string {
+	return "stores bypassing the logging slow path via dirty stamps must sit in a function annotated //gclint:fastpath with the invariant"
+}
+
+// Appraise implements Rule.
+func (r *BarrierFastRule) Appraise(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		annotated := fastpathFuncs(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, onHeap := selectorOnHeap(pass.Pkg.Info, sel)
+			if !onHeap || !stampMethods[name] {
+				return true
+			}
+			fn := enclosingFuncName(pass.Pkg.Files, call.Pos())
+			if fn != "" && annotated[fn] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"Heap.%s outside an annotated fast path: a store that skips the logging slow path must sit in a function carrying \"//gclint:fastpath <invariant>\" stating why the log still covers the skipped location", name)
+			return true
+		})
+	}
+}
+
+// fastpathFuncs collects the names of functions in f whose doc comment ends
+// with a //gclint:fastpath line carrying a non-empty invariant.
+func fastpathFuncs(f *ast.File) map[string]bool {
+	out := make(map[string]bool)
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if !strings.HasPrefix(c.Text, fastpathPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, fastpathPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // some other gclint:fastpathX word
+			}
+			// The invariant text is mandatory: a bare annotation is a
+			// claim with no content and does not count.
+			if strings.TrimSpace(rest) != "" {
+				out[fd.Name.Name] = true
+			}
+		}
+	}
+	return out
+}

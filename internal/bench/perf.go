@@ -1,0 +1,217 @@
+package bench
+
+// The perf trajectory (BENCH_PR3.json): a machine-readable before/after
+// comparison of the naive append-every-store write barrier against the
+// coalescing barrier (dirty stamps + nursery fast path), per workload, under
+// the full real-time configuration. "Before" is the same collector with
+// coalescing disabled (RunConfig.NaiveBarrier), so both legs run identical
+// workload code over the identical cost model and differ only in how the
+// mutation log represents the exception set.
+//
+// Workload metrics use simulated time (deterministic, cost-model units); the
+// barrier ns/op section is wall-clock and is therefore filled in by
+// cmd/rtgc-bench, which is outside the simulated-clock-only lint scope.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// PerfSchema identifies the report layout; bump on incompatible change.
+const PerfSchema = "repligc-bench/1"
+
+// PerfReport is the document serialised to BENCH_PR3.json.
+type PerfReport struct {
+	Schema    string `json:"schema"`
+	Collector string `json:"collector"` // configuration of both legs ("rt")
+	Params    string `json:"params"`    // O/N/L of both legs
+	Scale     string `json:"scale"`     // "default" or "quick"
+
+	// Barrier holds wall-clock nanoseconds per store for each barrier
+	// outcome, measured by testing.Benchmark in cmd/rtgc-bench. Zero when
+	// the report was produced without the wall-clock section.
+	Barrier BarrierNsOp `json:"barrier_ns_per_op"`
+
+	Workloads []PerfWorkload `json:"workloads"`
+}
+
+// BarrierNsOp is the wall-clock barrier micro-benchmark section.
+type BarrierNsOp struct {
+	Naive        float64 `json:"naive"`         // append-every-store, old-space target
+	DirtyHit     float64 `json:"dirty_hit"`     // same store, suppressed by the stamp
+	NurserySkip  float64 `json:"nursery_skip"`  // store to an unreplicated nursery object
+	SpeedupX     float64 `json:"speedup_x"`     // naive / dirty_hit
+	ZeroAllocs   bool    `json:"zero_allocs"`   // fast paths allocate nothing
+}
+
+// PerfWorkload compares the two barrier legs on one workload.
+type PerfWorkload struct {
+	Name      string  `json:"name"`
+	Baseline  PerfLeg `json:"baseline"`  // NaiveBarrier: true
+	Coalesced PerfLeg `json:"coalesced"` // the PR's barrier
+
+	// ReapplyReductionPct is the headline number: the percentage of the
+	// baseline's re-applied log entries that coalescing eliminated.
+	ReapplyReductionPct float64 `json:"reapply_reduction_pct"`
+	// AppendReductionPct is the same for barrier-side log appends.
+	AppendReductionPct float64 `json:"append_reduction_pct"`
+}
+
+// PerfLeg is one run's measurements.
+type PerfLeg struct {
+	ElapsedMs       float64 `json:"elapsed_ms"`        // simulated
+	ReplicationMBps float64 `json:"replication_mb_s"`  // bytes replicated / simulated second
+	BytesReplicated int64   `json:"bytes_replicated"`  // minor + major copying volume
+	LogAppended     int64   `json:"log_appended"`      // barrier-side appends
+	LogScanned      int64   `json:"log_scanned"`       // collector-side entries examined
+	LogReapplied    int64   `json:"log_reapplied"`     // mutations re-applied to replicas
+	NurserySkips    int64   `json:"nursery_skips"`     // fast-path suppressions (coalesced leg only)
+	DirtySkips      int64   `json:"dirty_skips"`       // stamp-hit suppressions (coalesced leg only)
+	Pauses          int     `json:"pauses"`
+	PauseMinMs      float64 `json:"pause_min_ms"`
+	PauseMedianMs   float64 `json:"pause_median_ms"`
+	PauseP95Ms      float64 `json:"pause_p95_ms"`
+	PauseMaxMs      float64 `json:"pause_max_ms"`
+}
+
+// perfLeg distils a Result.
+func perfLeg(r *Result) PerfLeg {
+	copied := r.Stats.TotalBytesCopied()
+	leg := PerfLeg{
+		ElapsedMs:       r.Elapsed.Milliseconds(),
+		BytesReplicated: copied,
+		LogAppended:     r.LogWrites,
+		LogScanned:      r.Stats.LogScanned,
+		LogReapplied:    r.Stats.LogReapplied,
+		NurserySkips:    r.BarrierFastSkips,
+		DirtySkips:      r.BarrierDirtySkips,
+		Pauses:          len(r.Pauses.Pauses),
+		PauseMinMs:      r.Pauses.Percentile(0).Milliseconds(),
+		PauseMedianMs:   r.Pauses.Percentile(50).Milliseconds(),
+		PauseP95Ms:      r.Pauses.Percentile(95).Milliseconds(),
+		PauseMaxMs:      r.Pauses.Max().Milliseconds(),
+	}
+	if secs := r.Elapsed.Seconds(); secs > 0 {
+		leg.ReplicationMBps = float64(copied) / (1 << 20) / secs
+	}
+	return leg
+}
+
+// reductionPct returns how much of base the coalesced leg eliminated, as a
+// percentage; 0 when the baseline did none of the work.
+func reductionPct(base, coal int64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (1 - float64(coal)/float64(base))
+}
+
+// perfParams is the parameter cell both legs run under: the paper's 50 ms
+// pause target (O = 1 MB, N = 0.2 MB, L = 100 KB), the cell every workload
+// collects frequently in.
+func perfParams() Params { return PaperParams()[0] }
+
+// RunPerf runs the three workloads under both barrier legs and assembles the
+// report (without the wall-clock barrier section).
+func RunPerf(s Scale, scaleName string) (*PerfReport, error) {
+	rep := &PerfReport{
+		Schema:    PerfSchema,
+		Collector: string(CfgRT),
+		Params:    perfParams().String(),
+		Scale:     scaleName,
+	}
+	for _, w := range []Workload{Primes(s), Sort(s), Comp(s)} {
+		base, err := Run(w, RunConfig{Config: CfgRT, Params: perfParams(), NaiveBarrier: true})
+		if err != nil {
+			return nil, fmt.Errorf("perf %s baseline: %w", w.Name(), err)
+		}
+		coal, err := Run(w, RunConfig{Config: CfgRT, Params: perfParams()})
+		if err != nil {
+			return nil, fmt.Errorf("perf %s coalesced: %w", w.Name(), err)
+		}
+		if base.Output != coal.Output {
+			return nil, fmt.Errorf("perf %s: barrier legs computed different results", w.Name())
+		}
+		rep.Workloads = append(rep.Workloads, PerfWorkload{
+			Name:                w.Name(),
+			Baseline:            perfLeg(base),
+			Coalesced:           perfLeg(coal),
+			ReapplyReductionPct: reductionPct(base.Stats.LogReapplied, coal.Stats.LogReapplied),
+			AppendReductionPct:  reductionPct(base.LogWrites, coal.LogWrites),
+		})
+	}
+	return rep, nil
+}
+
+// ValidatePerf checks that data parses as a PerfReport with the current
+// schema, all three workloads, and internally-consistent numbers. It is the
+// CI smoke check: shape and sanity, never thresholds on the measurements
+// themselves.
+func ValidatePerf(data []byte) error {
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("perf report: %w", err)
+	}
+	if rep.Schema != PerfSchema {
+		return fmt.Errorf("perf report: schema %q, want %q", rep.Schema, PerfSchema)
+	}
+	names := []string{"Primes", "Sort", "Comp"}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = false
+	}
+	for _, w := range rep.Workloads {
+		seen, ok := want[w.Name]
+		if !ok {
+			return fmt.Errorf("perf report: unknown workload %q", w.Name)
+		}
+		if seen {
+			return fmt.Errorf("perf report: duplicate workload %q", w.Name)
+		}
+		want[w.Name] = true
+		for _, leg := range []struct {
+			tag string
+			l   PerfLeg
+		}{{"baseline", w.Baseline}, {"coalesced", w.Coalesced}} {
+			if err := leg.l.check(); err != nil {
+				return fmt.Errorf("perf report: %s %s: %w", w.Name, leg.tag, err)
+			}
+		}
+		if w.Baseline.NurserySkips != 0 || w.Baseline.DirtySkips != 0 {
+			return fmt.Errorf("perf report: %s baseline leg reports fast-path skips", w.Name)
+		}
+	}
+	for _, name := range names {
+		if !want[name] {
+			return fmt.Errorf("perf report: workload %q missing", name)
+		}
+	}
+	return nil
+}
+
+// check rejects legs with impossible measurements.
+func (l PerfLeg) check() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"elapsed_ms", l.ElapsedMs}, {"replication_mb_s", l.ReplicationMBps},
+		{"pause_min_ms", l.PauseMinMs}, {"pause_median_ms", l.PauseMedianMs},
+		{"pause_p95_ms", l.PauseP95Ms}, {"pause_max_ms", l.PauseMaxMs},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return fmt.Errorf("%s = %v is not a finite non-negative number", f.name, f.v)
+		}
+	}
+	if l.ElapsedMs == 0 || l.Pauses == 0 {
+		return fmt.Errorf("run did no work (elapsed %.0f ms, %d pauses)", l.ElapsedMs, l.Pauses)
+	}
+	if l.PauseMinMs > l.PauseMedianMs || l.PauseMedianMs > l.PauseP95Ms || l.PauseP95Ms > l.PauseMaxMs {
+		return fmt.Errorf("pause percentiles are not monotone")
+	}
+	if l.LogReapplied > l.LogScanned {
+		return fmt.Errorf("re-applied %d entries but scanned only %d", l.LogReapplied, l.LogScanned)
+	}
+	return nil
+}

@@ -77,6 +77,10 @@ type RunConfig struct {
 	// NurseryCapBytes overrides the nursery growth bound; zero derives it
 	// from N as before.
 	NurseryCapBytes int64
+	// NaiveBarrier disables write-barrier coalescing (the dirty-stamp and
+	// nursery fast paths), restoring the append-every-store barrier. Used
+	// as the baseline leg of the perf trajectory (BENCH_PR3.json).
+	NaiveBarrier bool
 }
 
 // Result is everything measured in one run.
@@ -90,9 +94,11 @@ type Result struct {
 	Stats     core.GCStats
 	Breakdown [simtime.NumAccounts]simtime.Duration
 
-	BytesAllocated int64
-	LogWrites      int64
-	Output         string
+	BytesAllocated    int64
+	LogWrites         int64
+	BarrierFastSkips  int64
+	BarrierDirtySkips int64
+	Output            string
 }
 
 // Runtime is one constructed heap + mutator + collector, ready to run a
@@ -134,6 +140,7 @@ func NewRuntime(rc RunConfig) (*Runtime, error) {
 		logPolicy = core.LogPointersOnly
 	}
 	m := core.NewMutator(h, simtime.NewClock(), cost, logPolicy)
+	m.NaiveBarrier = rc.NaiveBarrier
 
 	var gc core.Collector
 	switch rc.Config {
@@ -197,9 +204,11 @@ func Run(w Workload, rc RunConfig) (*Result, error) {
 		Pauses:         *gc.Pauses(),
 		Stats:          *gc.Stats(),
 		Breakdown:      m.Clock.Breakdown(),
-		BytesAllocated: m.BytesAllocated,
-		LogWrites:      m.LogWrites,
-		Output:         out,
+		BytesAllocated:    m.BytesAllocated,
+		LogWrites:         m.LogWrites,
+		BarrierFastSkips:  m.BarrierFastSkips,
+		BarrierDirtySkips: m.BarrierDirtySkips,
+		Output:            out,
 	}
 	return res, nil
 }

@@ -151,10 +151,6 @@ func (c *Replicating) AuditScanned(m *Mutator) error {
 		}
 	}
 	if c.majorActive {
-		pending := make(map[heap.Value]bool)
-		for _, q := range c.grayQ {
-			pending[q] = true
-		}
 		// Slots allowed to keep from-space pointers: queued mutable-reference
 		// fixups (re-pointed at the major flip) and mutations the major log
 		// cursor has not reached yet.
@@ -172,12 +168,12 @@ func (c *Replicating) AuditScanned(m *Mutator) error {
 		}
 		var err error
 		h.WalkObjects(h.OldTo(), func(p heap.Value, hdr heap.Header) bool {
-			idx := uint64(p)>>3 - h.OldTo().Lo
-			if c.graySeen[idx/64]&(1<<(idx%64)) == 0 {
-				return true // white or unreached: the scan owes it nothing yet
-			}
-			if pending[p] || p == c.grayCur {
-				return true // gray: queued or interrupted mid-object
+			// Under the implicit Cheney scan, black is an address test: the
+			// cursor has fully passed every object whose header sits below
+			// it. The object at the cursor may be partially scanned
+			// (majorScanSlot resumes inside it); it owes nothing yet.
+			if uint64(p)>>3-1 >= c.majorScan {
+				return true
 			}
 			if !hdr.Kind().HasPointers() {
 				return true

@@ -157,8 +157,8 @@ func TestAuditScannedCatchesCorruptMinorReplica(t *testing.T) {
 }
 
 // TestAuditScannedCatchesCorruptBlackObject does the same for the major
-// collection: a to-space object the gray worklist has finished with must not
-// hold old from-space pointers, so planting one must be reported.
+// collection: a to-space object the implicit Cheney cursor has passed must
+// not hold old from-space pointers, so planting one must be reported.
 func TestAuditScannedCatchesCorruptBlackObject(t *testing.T) {
 	m, gc := auditMutator(t, Config{
 		NurseryBytes:        128 << 10,
@@ -177,15 +177,10 @@ func TestAuditScannedCatchesCorruptBlackObject(t *testing.T) {
 		if !gc.majorActive {
 			return heap.Nil
 		}
-		pending := make(map[heap.Value]bool)
-		for _, q := range gc.grayQ {
-			pending[q] = true
-		}
 		var black heap.Value
 		h.WalkObjects(h.OldTo(), func(p heap.Value, hdr heap.Header) bool {
-			idx := uint64(p)>>3 - h.OldTo().Lo
-			if gc.graySeen[idx/64]&(1<<(idx%64)) == 0 || pending[p] || p == gc.grayCur {
-				return true
+			if uint64(p)>>3-1 >= gc.majorScan {
+				return true // at or above the cursor: not yet black
 			}
 			if !hdr.Kind().HasPointers() || hdr.Len() == 0 {
 				return true

@@ -79,7 +79,19 @@ func (l *MutationLog) At(seq int64) LogEntry {
 	return l.entries[seq-l.base]
 }
 
+// trimCompactFloor keeps tiny logs from compacting on every trim: below
+// this capacity the retained/capacity ratio is noise.
+const trimCompactFloor = 64
+
 // TrimTo discards entries below seq (all cursors must have passed seq).
+//
+// The common trim is an O(1) re-slice; the discarded prefix lingers in the
+// backing array until the next growth reallocation drops it. Only when the
+// retained suffix has shrunk below a quarter of the remaining capacity is
+// it copied into a right-sized array, so a sequence of m small trims costs
+// O(m) amortised instead of the old copy-the-tail behaviour's
+// O(m·retained), and a huge log spike cannot pin its backing array behind a
+// handful of surviving entries.
 func (l *MutationLog) TrimTo(seq int64) {
 	if seq <= l.base {
 		return
@@ -88,10 +100,18 @@ func (l *MutationLog) TrimTo(seq int64) {
 		seq = l.Len()
 	}
 	n := seq - l.base
-	k := copy(l.entries, l.entries[n:])
-	l.entries = l.entries[:k]
+	l.entries = l.entries[n:]
 	l.base = seq
+	if c := cap(l.entries); c > trimCompactFloor && len(l.entries) < c/4 {
+		compact := make([]LogEntry, len(l.entries))
+		copy(compact, l.entries)
+		l.entries = compact
+	}
 }
 
 // Retained reports how many entries are currently held.
 func (l *MutationLog) Retained() int { return len(l.entries) }
+
+// Capacity reports the capacity of the backing array from the current base
+// onward. It exists so tests can pin TrimTo's compaction behaviour.
+func (l *MutationLog) Capacity() int { return cap(l.entries) }

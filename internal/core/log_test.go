@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repligc/internal/heap"
+)
+
+// TestTrimToCompacts pins the satellite fix for TrimTo's worst case: a log
+// spike followed by trims must not leave a huge backing array pinned behind
+// a few retained entries, and repeated small trims must not retain the full
+// original capacity forever.
+func TestTrimToCompacts(t *testing.T) {
+	var l MutationLog
+	const spike = 4096
+	for i := 0; i < spike; i++ {
+		l.Append(LogEntry{Obj: heap.Value(8), Slot: int32(i)})
+	}
+	spikeCap := l.Capacity()
+	if spikeCap < spike {
+		t.Fatalf("capacity %d below appended count %d", spikeCap, spike)
+	}
+
+	// Trim away all but 16 entries: retained << cap/4, so the backing
+	// array must be replaced by a right-sized one.
+	l.TrimTo(l.Len() - 16)
+	if got := l.Retained(); got != 16 {
+		t.Fatalf("Retained() = %d, want 16", got)
+	}
+	if l.Capacity() >= spikeCap/4 {
+		t.Fatalf("TrimTo retained capacity %d of spike capacity %d; want compaction below 1/4", l.Capacity(), spikeCap)
+	}
+
+	// The retained entries must survive compaction with sequence numbers
+	// intact.
+	for seq := l.Base(); seq < l.Len(); seq++ {
+		if got := l.At(seq); int64(got.Slot) != seq {
+			t.Fatalf("entry %d corrupted after compaction: slot %d", seq, got.Slot)
+		}
+	}
+}
+
+// TestTrimToSmallLogsStayPut checks the compaction floor: trims on small
+// logs are plain re-slices with no reallocation churn.
+func TestTrimToSmallLogsStayPut(t *testing.T) {
+	var l MutationLog
+	for i := 0; i < trimCompactFloor; i++ {
+		l.Append(LogEntry{Obj: heap.Value(8), Slot: int32(i)})
+	}
+	l.TrimTo(l.Len() - 2)
+	if got := l.Retained(); got != 2 {
+		t.Fatalf("Retained() = %d, want 2", got)
+	}
+	if l.Capacity() > trimCompactFloor {
+		t.Fatalf("small log capacity %d exceeds floor %d", l.Capacity(), trimCompactFloor)
+	}
+}
+
+// TestTrimToRepeatedSmallTrims drives the steady-state pattern — append a
+// few, trim a few — and checks capacity stays bounded by a small multiple
+// of the live window rather than growing with total log traffic.
+func TestTrimToRepeatedSmallTrims(t *testing.T) {
+	var l MutationLog
+	const window = 128
+	for round := 0; round < 2000; round++ {
+		for i := 0; i < window; i++ {
+			l.Append(LogEntry{Obj: heap.Value(8), Slot: int32(i)})
+		}
+		l.TrimTo(l.Len() - 8)
+		if got := l.Retained(); got != 8 {
+			t.Fatalf("round %d: Retained() = %d, want 8", round, got)
+		}
+	}
+	// Amortised bound: with compaction at cap/4 the capacity can never
+	// exceed 4× the post-trim window (plus append's doubling slack).
+	if l.Capacity() > 16*window {
+		t.Fatalf("steady-state capacity %d grew unboundedly (window %d)", l.Capacity(), window)
+	}
+}

@@ -61,6 +61,153 @@ func BenchmarkWriteBarrier(b *testing.B) {
 	}
 }
 
+// oldArray allocates a 64-slot array directly in the old generation so the
+// barrier benchmarks below exercise the logged (non-nursery) path.
+func oldArray(b *testing.B, m *core.Mutator) heap.Value {
+	b.Helper()
+	p, ok := m.H.AllocIn(m.H.OldFrom(), heap.KindArray, 64)
+	if !ok {
+		b.Fatal("old-space alloc failed")
+	}
+	return p
+}
+
+// BenchmarkBarrierNurseryFastPath measures the cheapest barrier outcome: a
+// store into an unreplicated nursery object, which appends nothing. The
+// fast path must be allocation-free (asserted, not just reported).
+func BenchmarkBarrierNurseryFastPath(b *testing.B) {
+	m, _ := benchMutator(rtCfg())
+	arr := m.MustAlloc(heap.KindArray, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(arr, i%64, heap.FromInt(int64(i)))
+	}
+	b.StopTimer()
+	if m.LogWrites != 0 {
+		b.Fatalf("nursery fast path appended %d log entries", m.LogWrites)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Set(arr, 0, heap.FromInt(1))
+	}); n != 0 {
+		b.Fatalf("fast path allocates %.1f times per store, want 0", n)
+	}
+}
+
+// BenchmarkBarrierDirtyHit measures a logged store whose slot is already
+// stamped in the current epoch: the append is suppressed by one load and
+// one compare. Also asserted allocation-free.
+func BenchmarkBarrierDirtyHit(b *testing.B) {
+	m, _ := benchMutator(rtCfg())
+	arr := oldArray(b, m)
+	m.Set(arr, 0, heap.FromInt(0)) // prime the stamp
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(arr, 0, heap.FromInt(int64(i)))
+	}
+	b.StopTimer()
+	if m.LogWrites != 1 {
+		b.Fatalf("dirty-hit loop appended %d log entries, want 1", m.LogWrites)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Set(arr, 0, heap.FromInt(1))
+	}); n != 0 {
+		b.Fatalf("dirty hit allocates %.1f times per store, want 0", n)
+	}
+}
+
+// BenchmarkBarrierDirtyMiss measures the slow path under coalescing: every
+// iteration starts a fresh epoch, so each store stamps its slot and appends
+// an entry (stamp write + append + cost charge).
+func BenchmarkBarrierDirtyMiss(b *testing.B) {
+	m, _ := benchMutator(rtCfg())
+	arr := oldArray(b, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.H.BeginLogEpoch()
+		m.Set(arr, i%64, heap.FromInt(int64(i)))
+		if i%4096 == 0 {
+			m.Log.TrimTo(m.Log.Len()) // keep the log bounded
+		}
+	}
+}
+
+// BenchmarkBarrierNaive measures the pre-coalescing barrier (always append)
+// on the same old-space store pattern as BenchmarkBarrierDirtyHit, so the
+// hit/naive pair is the barrier ns/op before/after comparison.
+func BenchmarkBarrierNaive(b *testing.B) {
+	m, _ := benchMutator(rtCfg())
+	m.NaiveBarrier = true
+	arr := oldArray(b, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(arr, 0, heap.FromInt(int64(i)))
+		if i%4096 == 0 {
+			m.Log.TrimTo(m.Log.Len()) // keep the log bounded
+		}
+	}
+}
+
+// benchReplay drives a mutation-heavy loop — a long-lived nursery ref
+// mutated between incremental pauses — and reports log entries re-applied
+// per operation. With the naive barrier every store between two pauses of
+// an active cycle is re-applied to the replica; coalesced, each slot is
+// re-applied once per pause.
+func benchReplay(b *testing.B, naive bool) {
+	m, gc := benchMutator(rtCfg())
+	m.NaiveBarrier = naive
+	refs := make([]heap.Value, 16)
+	for i := range refs {
+		r := m.MustAlloc(heap.KindRef, 1)
+		m.Init(r, 0, heap.FromInt(0))
+		refs[i] = r
+	}
+	// Enough surviving bulk that a minor cycle spans several budgeted
+	// pauses — the refs get replicated mid-cycle while the loop keeps
+	// mutating them, which is what forces log reapplication.
+	keep := make([]heap.Value, 1024)
+	m.Roots.Register(rootFunc(func(v core.RootVisitor) {
+		for i := range refs {
+			v(&refs[i])
+		}
+		for i := range keep {
+			v(&keep[i])
+		}
+	}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(refs[i%16], 0, heap.FromInt(int64(i)))
+		if i%4 == 0 {
+			p := m.MustAlloc(heap.KindRecord, 30)
+			if i%16 == 0 {
+				keep[(i/16)%1024] = p
+			}
+		}
+		if i%1024 == 1023 {
+			// Refresh one ref so nursery-resident mutated refs exist in
+			// every cycle, not just the first.
+			r := m.MustAlloc(heap.KindRef, 1)
+			m.Init(r, 0, heap.FromInt(int64(i)))
+			refs[i%16] = r
+		}
+	}
+	b.StopTimer()
+	gc.FinishCycles(m)
+	b.ReportMetric(float64(gc.Stats().LogReapplied)/float64(b.N), "reapplied/op")
+	b.ReportMetric(float64(m.LogWrites)/float64(b.N), "logged/op")
+}
+
+// BenchmarkLogReplayNaive is the baseline replay cost: every store appends,
+// every pending entry re-applies.
+func BenchmarkLogReplayNaive(b *testing.B) { benchReplay(b, true) }
+
+// BenchmarkLogReplayCoalesced is the same workload through the coalescing
+// barrier: one entry (and one reapply) per dirty slot per cycle.
+func BenchmarkLogReplayCoalesced(b *testing.B) { benchReplay(b, false) }
+
 // BenchmarkGetHeader measures the forwarding-aware header read the paper
 // found unmeasurably cheap.
 func BenchmarkGetHeader(b *testing.B) {

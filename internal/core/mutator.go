@@ -25,6 +25,13 @@ type Mutator struct {
 	// modifications switch).
 	Policy LogPolicy
 
+	// NaiveBarrier disables the write barrier's fast paths: every store
+	// that the policy covers appends a log entry, exactly as the unmodified
+	// barrier did. It exists for the differential property tests (coalesced
+	// replay must be bit-identical to naive replay) and for the baseline
+	// leg of the benchmark trajectory.
+	NaiveBarrier bool
+
 	// BytesAllocated counts every byte ever allocated; policy scripts are
 	// expressed in this coordinate so that runs with different collectors
 	// flip at identical points.
@@ -32,6 +39,17 @@ type Mutator struct {
 
 	// LogWrites counts barrier-produced log entries.
 	LogWrites int64
+
+	// BarrierFastSkips counts stores the barrier skipped logging entirely
+	// because the target was an unreplicated nursery object — the next
+	// startMinor copies it with its current contents, so no entry is owed.
+	BarrierFastSkips int64
+
+	// BarrierDirtySkips counts stores whose log append was suppressed by a
+	// current-epoch dirty stamp: the log already retains an unconsumed
+	// entry covering the slot, and entries are value-free, so a second one
+	// would be pure overhead.
+	BarrierDirtySkips int64
 
 	handles handleStack
 }
@@ -199,6 +217,9 @@ func (m *Mutator) Get(p heap.Value, i int) heap.Value { return m.H.Load(p, i) }
 func (m *Mutator) Init(p heap.Value, i int, v heap.Value) {
 	m.H.Store(p, i, v)
 	if !m.H.Nursery.Contains(p) && (m.Policy == LogAllMutations || v.IsPtr()) {
+		if m.skipWordLog(p, i) {
+			return
+		}
 		m.logMutation(LogEntry{Obj: p, Slot: int32(i)})
 	}
 }
@@ -208,8 +229,62 @@ func (m *Mutator) Init(p heap.Value, i int, v heap.Value) {
 func (m *Mutator) Set(p heap.Value, i int, v heap.Value) {
 	m.H.Store(p, i, v)
 	if m.Policy == LogAllMutations || v.IsPtr() {
+		if m.skipWordLog(p, i) {
+			return
+		}
 		m.logMutation(LogEntry{Obj: p, Slot: int32(i)})
 	}
+}
+
+// skipWordLog is the write barrier's fast path for one word slot. It
+// reports true when the store needs no log entry: either the target is an
+// unreplicated nursery object (the next startMinor copies it whole, so its
+// current contents travel with it and it cannot be a remembered-set source),
+// or the slot's dirty stamp matches the current log epoch (the log already
+// retains an unconsumed, value-free entry covering the slot — see
+// heap/stamp.go). On a stamp miss it marks the slot and directs the caller
+// to the slow path, making the common repeated-store case one load and one
+// compare.
+//
+//gclint:fastpath unreplicated nursery objects owe no log entry (copied whole at the next startMinor); a current-epoch stamp proves the log retains an unconsumed entry for this slot, and entries are value-free so one entry suffices
+func (m *Mutator) skipWordLog(p heap.Value, i int) bool {
+	if m.NaiveBarrier {
+		return false
+	}
+	if m.H.Nursery.Contains(p) && !m.H.IsForwarded(p) {
+		m.BarrierFastSkips++
+		return true
+	}
+	if m.H.SlotDirty(p, i) {
+		m.BarrierDirtySkips++
+		return true
+	}
+	m.H.MarkSlotDirty(p, i)
+	return false
+}
+
+// skipByteWordsLog is skipWordLog for a byte store covering payload words
+// [w, w+n). Byte stores coalesce at word granularity, so the fast path needs
+// the conjunction of the covered words' stamps; on a miss the caller must
+// log a word-aligned entry covering all n words (the stamps vouch for whole
+// words, and an entry narrower than its stamp would lose later byte stores
+// to the same word).
+//
+//gclint:fastpath unreplicated nursery objects owe no log entry; current-epoch stamps prove the log retains unconsumed word-aligned entries covering these words
+func (m *Mutator) skipByteWordsLog(p heap.Value, w, n int) bool {
+	if m.NaiveBarrier {
+		return false
+	}
+	if m.H.Nursery.Contains(p) && !m.H.IsForwarded(p) {
+		m.BarrierFastSkips++
+		return true
+	}
+	if m.H.WordsDirty(p, w, n) {
+		m.BarrierDirtySkips++
+		return true
+	}
+	m.H.MarkWordsDirty(p, w, n)
+	return false
 }
 
 // GetByte reads byte i of a byte-kind object.
@@ -217,25 +292,52 @@ func (m *Mutator) GetByte(p heap.Value, i int) byte { return m.H.LoadByte(p, i) 
 
 // SetByte mutates byte i of a byte-kind object. Byte mutations are only
 // logged under LogAllMutations — the paper's compiler modification whose
-// cost shows up in Comp (§4.5).
+// cost shows up in Comp (§4.5). The coalesced entry covers the containing
+// word: payloads are padded to word boundaries, entries are value-free, and
+// the word is what the dirty stamp vouches for.
 func (m *Mutator) SetByte(p heap.Value, i int, b byte) {
 	m.H.StoreByte(p, i, b)
-	if m.Policy == LogAllMutations {
-		m.logMutation(LogEntry{Obj: p, Slot: int32(i), Len: 1, Byte: true})
+	if m.Policy != LogAllMutations {
+		return
 	}
+	if m.NaiveBarrier {
+		m.logMutation(LogEntry{Obj: p, Slot: int32(i), Len: 1, Byte: true})
+		return
+	}
+	w := i / heap.BytesPerWord
+	if m.skipByteWordsLog(p, w, 1) {
+		return
+	}
+	m.logMutation(LogEntry{Obj: p, Slot: int32(w * heap.BytesPerWord), Len: heap.BytesPerWord, Byte: true})
 }
 
 // SetByteRange mutates len(data) bytes of a byte-kind object starting at
 // byte off, producing a single coalesced log entry covering the range (the
 // runtime-system equivalent of logging a block store, used by the compiler
-// when it emits code into heap buffers).
+// when it emits code into heap buffers). The entry is widened to word
+// alignment so it matches what the dirty stamps vouch for.
 func (m *Mutator) SetByteRange(p heap.Value, off int, data []byte) {
 	for i, b := range data {
 		m.H.StoreByte(p, off+i, b)
 	}
-	if m.Policy == LogAllMutations && len(data) > 0 {
-		m.logMutation(LogEntry{Obj: p, Slot: int32(off), Len: int32(len(data)), Byte: true})
+	if m.Policy != LogAllMutations || len(data) == 0 {
+		return
 	}
+	if m.NaiveBarrier {
+		m.logMutation(LogEntry{Obj: p, Slot: int32(off), Len: int32(len(data)), Byte: true})
+		return
+	}
+	w0 := off / heap.BytesPerWord
+	nw := (off+len(data)-1)/heap.BytesPerWord - w0 + 1
+	if m.skipByteWordsLog(p, w0, nw) {
+		return
+	}
+	m.logMutation(LogEntry{
+		Obj:  p,
+		Slot: int32(w0 * heap.BytesPerWord),
+		Len:  int32(nw * heap.BytesPerWord),
+		Byte: true,
+	})
 }
 
 func (m *Mutator) logMutation(e LogEntry) {

@@ -18,8 +18,11 @@ func bareMutator() *core.Mutator {
 
 func TestBarrierLoggingPolicies(t *testing.T) {
 	for _, pol := range []core.LogPolicy{core.LogPointersOnly, core.LogAllMutations} {
+		// NaiveBarrier pins the policy matrix itself: which stores the
+		// barrier's slow path records under each compiler configuration.
 		h := heap.New(heap.Config{NurseryBytes: 1 << 20, NurseryCapBytes: 2 << 20, OldSemiBytes: 8 << 20})
 		m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), pol)
+		m.NaiveBarrier = true
 
 		obj := m.MustAlloc(heap.KindArray, 4)
 		target := m.MustAlloc(heap.KindRecord, 1)
@@ -40,9 +43,71 @@ func TestBarrierLoggingPolicies(t *testing.T) {
 	}
 }
 
+// TestBarrierNurseryFastPath pins the fast path: stores into unreplicated
+// nursery objects append nothing (the next startMinor copies the object
+// with its current contents), and the skip is counted.
+func TestBarrierNurseryFastPath(t *testing.T) {
+	m := bareMutator()
+	obj := m.MustAlloc(heap.KindArray, 4)
+	target := m.MustAlloc(heap.KindRecord, 1)
+	bs := m.MustAllocBytes(16)
+	before := m.LogWrites
+	m.Set(obj, 0, target)
+	m.Set(obj, 1, heap.FromInt(42))
+	m.SetByte(bs, 0, 7)
+	m.SetByteRange(bs, 8, []byte{1, 2, 3})
+	if got := m.LogWrites - before; got != 0 {
+		t.Fatalf("nursery stores appended %d log entries, want 0", got)
+	}
+	if m.BarrierFastSkips != 4 {
+		t.Fatalf("BarrierFastSkips = %d, want 4", m.BarrierFastSkips)
+	}
+	// The stores themselves must still land.
+	if m.Get(obj, 0) != target || m.Get(obj, 1) != heap.FromInt(42) {
+		t.Fatal("skipped stores did not reach the heap")
+	}
+	if m.GetByte(bs, 0) != 7 || m.GetByte(bs, 9) != 2 {
+		t.Fatal("skipped byte stores did not reach the heap")
+	}
+}
+
+// TestBarrierDirtyStampCoalesces pins the dirty-stamp path on old-space
+// objects: the first store to a slot in an epoch logs one entry; repeats
+// are suppressed until the next epoch begins.
+func TestBarrierDirtyStampCoalesces(t *testing.T) {
+	m := bareMutator()
+	p, ok := m.H.AllocIn(m.H.OldFrom(), heap.KindArray, 4)
+	if !ok {
+		t.Fatal("old-space alloc failed")
+	}
+	before := m.LogWrites
+	for i := 0; i < 10; i++ {
+		m.Set(p, 0, heap.FromInt(int64(i)))
+	}
+	if got := m.LogWrites - before; got != 1 {
+		t.Fatalf("10 stores to one slot logged %d entries, want 1", got)
+	}
+	if m.BarrierDirtySkips != 9 {
+		t.Fatalf("BarrierDirtySkips = %d, want 9", m.BarrierDirtySkips)
+	}
+	m.Set(p, 1, heap.FromInt(1)) // distinct slot: its own entry
+	if got := m.LogWrites - before; got != 2 {
+		t.Fatalf("store to second slot logged %d total entries, want 2", got)
+	}
+	m.H.BeginLogEpoch() // a pause expires every stamp
+	m.Set(p, 0, heap.FromInt(99))
+	if got := m.LogWrites - before; got != 3 {
+		t.Fatalf("post-epoch store logged %d total entries, want 3", got)
+	}
+}
+
 func TestSetByteRangeCoalesces(t *testing.T) {
 	m := bareMutator()
-	p := m.MustAllocBytes(64)
+	// An old-space buffer: nursery targets take the no-log fast path.
+	p, ok := m.H.AllocIn(m.H.OldFrom(), heap.KindBytes, 64)
+	if !ok {
+		t.Fatal("old-space alloc failed")
+	}
 	before := m.LogWrites
 	data := []byte("hello world, hello world!")
 	m.SetByteRange(p, 3, data)
@@ -54,10 +119,21 @@ func TestSetByteRangeCoalesces(t *testing.T) {
 			t.Fatalf("byte %d mismatch", i)
 		}
 	}
+	// A second store into the same (word-aligned) region coalesces away.
+	m.SetByteRange(p, 4, data[:8])
+	if m.LogWrites != before+1 {
+		t.Fatalf("overlapping range store logged %d entries, want 1", m.LogWrites-before)
+	}
 	// Empty ranges log nothing.
 	m.SetByteRange(p, 0, nil)
 	if m.LogWrites != before+1 {
 		t.Fatal("empty range produced a log entry")
+	}
+	// The naive barrier logs byte-exact entries, one per range.
+	m.NaiveBarrier = true
+	m.SetByteRange(p, 3, data)
+	if m.LogWrites != before+2 {
+		t.Fatalf("naive range store logged %d entries, want 2 total", m.LogWrites-before)
 	}
 }
 

@@ -156,10 +156,14 @@ type Replicating struct {
 
 	// Cheney state. The minor scan covers only the objects promoted in
 	// the current cycle (it rewrites their nursery pointers before the
-	// minor flip). The major collection traces reachable to-space objects
-	// through an explicit gray worklist instead of a linear cursor, so
-	// objects that are promoted during the major and die before being
-	// reached cost it nothing — neither copying nor fixups.
+	// minor flip). The major collection uses the classic implicit Cheney
+	// scan: a cursor sweeps old-to in address order, and everything copied
+	// or promoted there lands above the cursor, so no gray worklist (and
+	// none of its allocations) is needed. The trade-off is the textbook
+	// one: objects promoted during the major that die before the flip are
+	// still swept by the cursor (floating garbage costs scan work, and
+	// their old-from referents are replicated), matching the behaviour of
+	// the authors' concurrent follow-up collector.
 	scan           uint64 // minor cursor (fresh promotions this cycle)
 	scanSlot       int    // resume slot within the object at the cursor
 	minorScanStart uint64 // cycle's first promoted word (audit: scanned region)
@@ -167,10 +171,8 @@ type Replicating struct {
 	minorSkipIdx   int
 	pendingMut     []fixup // replica slots holding deferred mutable nursery refs (§2.5)
 
-	grayQ    []heap.Value // to-space objects pending a major scan
-	graySeen []uint64     // bitset over old-to word indices: queued already
-	grayCur  heap.Value   // object whose scan was interrupted by the budget
-	graySlot int          // resume slot within grayCur
+	majorScan     uint64 // major cursor: header word of the next old-to object to scan
+	majorScanSlot int    // resume slot within the object at the major cursor
 
 	// Minor collection state.
 	minorActive    bool
@@ -322,6 +324,10 @@ func (c *Replicating) AllocTax(m *Mutator, bytes int64) error {
 		// Only the major collection has pending work: run a mid-cycle
 		// major increment without forcing a (trivial) minor collection.
 		m.Clock.BeginPause()
+		// Log cursors may move below: start a fresh coalescing epoch so
+		// barrier stamps from before this micro-pause cannot vouch for
+		// entries the cursor is about to consume (heap/stamp.go).
+		c.h.BeginLogEpoch()
 		at := m.Clock.Now()
 		c.pauseCopied, c.pauseLogProcd, c.pauseWork = 0, 0, 0
 		c.stats.PauseCount++
@@ -381,6 +387,11 @@ func (c *Replicating) CollectEmergency(m *Mutator) error {
 // typed exhaustion error, so degraded runs report honest long pauses.
 func (c *Replicating) pause(m *Mutator, needWords int, force bool) error {
 	m.Clock.BeginPause()
+	// Every pause starts a fresh log-coalescing epoch before any cursor
+	// moves: dirty stamps written by the barrier since the previous pause
+	// vouch for entries this pause may now consume, so they must expire
+	// here (heap/stamp.go spells out the invariant).
+	c.h.BeginLogEpoch()
 	at := m.Clock.Now()
 	c.pauseCopied, c.pauseLogProcd, c.pauseWork = 0, 0, 0
 	c.stats.PauseCount++
@@ -688,11 +699,9 @@ func (c *Replicating) reapplyMinor(m *Mutator, e LogEntry) error {
 		return err // replica slot untouched; reapplying again later is safe
 	}
 	h.Store(replica, int(e.Slot), v)
-	// If the replica was already traced by an active major, the store may
-	// have introduced an untraced to-space reference.
-	if c.majorActive && h.OldTo().Contains(v) {
-		c.queueGray(v)
-	}
+	// Storing a to-space reference needs no further action even when the
+	// replica has already been passed by the major cursor: every old-to
+	// object is scanned by address, so the referent is covered regardless.
 	return nil
 }
 
@@ -790,23 +799,6 @@ func (c *Replicating) oomCopy(res OOMResource, space *heap.Space, hdr heap.Heade
 	}
 }
 
-// queueGray adds a to-space object to the major's scan worklist unless it
-// is already queued or scanned. Liveness is established by the caller: only
-// objects reachable from roots, from old-space survivors, or from other
-// gray objects are ever queued, so dead promotions are never scanned.
-func (c *Replicating) queueGray(p heap.Value) {
-	if !c.majorActive || !c.h.OldTo().Contains(p) {
-		return
-	}
-	idx := uint64(p)>>3 - c.h.OldTo().Lo
-	word, bit := idx/64, idx%64
-	if c.graySeen[word]&(1<<bit) != 0 {
-		return
-	}
-	c.graySeen[word] |= 1 << bit
-	c.grayQ = append(c.grayQ, p)
-}
-
 // replicateMajor ensures v (an old from-space object) has a replica in
 // old-to and returns it. Only meaningful while a major is active. Overflow
 // of the reserve semispace surfaces as a typed *OOMError with v left
@@ -827,7 +819,8 @@ func (c *Replicating) replicateMajor(m *Mutator, v heap.Value) (heap.Value, erro
 	c.pauseCopied += b
 	c.pauseWork += b
 	m.Clock.Charge(simtime.AcctMajorCopy, simtime.Duration(hdr.SizeWords())*m.Cost.CopyWord)
-	c.queueGray(replica)
+	// The replica lands at the old-to frontier, above the major cursor, so
+	// the implicit Cheney scan reaches it without any queueing.
 	return replica, nil
 }
 
@@ -946,67 +939,77 @@ func (c *Replicating) scanFresh(m *Mutator, force bool) (bool, error) {
 	return true, nil
 }
 
-// scanGray drains the major's gray worklist within the work budget: each
-// reachable to-space object is scanned once, replicating its from-space
-// referents (rewriting immutable ones, queueing fixups for mutable ones)
-// and propagating grayness to its to-space referents. Scanning is
+// scanMajor advances the major's implicit Cheney scan within the work
+// budget: a cursor sweeps old-to in address order, and because every major
+// replica and every promotion is allocated at the old-to frontier — above
+// the cursor — reaching the frontier means everything is traced, with no
+// gray worklist and no per-object queue allocations. Each object's
+// from-space referents are replicated (immutable references rewritten,
+// mutable ones recorded as flip fixups); to-space referents need no action
+// (they are scanned by address), and nursery referents are the minor
+// machinery's business — the minor flip re-points every logged old→nursery
+// slot before a major can complete. The sweep also visits mutator-owned
+// direct allocations and objects that died since promotion: floating
+// garbage costs scan work, the price of dropping the worklist. Scanning is
 // resumable *within* an object, so even a single large array cannot blow
 // the pause budget — the incremental-large-object extension the paper
-// suggests in §3.4. It reports whether the worklist emptied.
-func (c *Replicating) scanGray(m *Mutator, force bool) (bool, error) {
+// suggests in §3.4. It reports whether the cursor reached the frontier.
+func (c *Replicating) scanMajor(m *Mutator, force bool) (bool, error) {
 	h := c.h
-	for {
-		var p heap.Value
-		var start int
-		if c.grayCur != heap.Nil {
-			p, start = c.grayCur, c.graySlot
-			c.grayCur, c.graySlot = heap.Nil, 0
-		} else {
-			if len(c.grayQ) == 0 {
-				return true, nil
-			}
+	to := h.OldTo()
+	for c.majorScan < to.Next {
+		w := h.Arena[c.majorScan]
+		if !heap.IsHeader(w) {
+			//gclint:allow panicpath -- invariant: to-space objects are replicas and never forwarded
+			panic("core: major scan hit forwarded object")
+		}
+		hdr := heap.Header(w)
+		p := heap.Value((c.majorScan + 1) << 3)
+		if !hdr.Kind().HasPointers() {
 			if c.overBudget(force) {
 				return false, nil
 			}
-			p = c.grayQ[len(c.grayQ)-1]
-			c.grayQ = c.grayQ[:len(c.grayQ)-1]
-		}
-		hdr := heap.Header(h.RawHeader(p))
-		if !heap.IsHeader(heap.Value(hdr)) {
-			//gclint:allow panicpath -- invariant: to-space objects are replicas and never forwarded
-			panic("core: gray object is forwarded")
-		}
-		if !hdr.Kind().HasPointers() {
 			c.pauseWork += hdr.SizeBytes()
 			m.Clock.Charge(simtime.AcctMajorCopy, simtime.Duration(hdr.SizeWords())*m.Cost.ScanWord)
+			c.majorScan += uint64(hdr.SizeWords())
 			continue
 		}
-		if start == 0 {
+		if c.majorScanSlot == 0 {
+			if c.overBudget(force) {
+				return false, nil
+			}
 			c.pauseWork += heap.BytesPerWord // header word
 			m.Clock.Charge(simtime.AcctMajorCopy, m.Cost.ScanWord)
 		}
-		for i := start; i < hdr.Len(); i++ {
+		i := c.majorScanSlot
+		for ; i < hdr.Len(); i++ {
 			if c.overBudget(force) {
-				c.grayCur, c.graySlot = p, i
+				c.majorScanSlot = i
 				return false, nil
 			}
 			c.pauseWork += heap.BytesPerWord
 			m.Clock.Charge(simtime.AcctMajorCopy, m.Cost.ScanWord)
 			v := h.Load(p, i)
-			switch {
-			case h.OldFrom().Contains(v):
+			if h.OldFrom().Contains(v) {
 				nv, err := c.toSpaceValue(m, v, p, i)
 				if err != nil {
-					c.grayCur, c.graySlot = p, i // resume at the failed slot
+					c.majorScanSlot = i // resume at the failed slot
 					return false, err
 				}
-				h.Store(p, i, nv)
-			case h.OldTo().Contains(v):
-				c.queueGray(v)
+				if nv != v {
+					h.Store(p, i, nv)
+				}
 			}
 		}
+		c.majorScanSlot = 0
+		c.majorScan += uint64(hdr.SizeWords())
 	}
+	return true, nil
 }
+
+// majorScanDone reports whether the major cursor has reached the old-to
+// frontier (everything currently in to-space has been scanned).
+func (c *Replicating) majorScanDone() bool { return c.majorScan >= c.h.OldTo().Next }
 
 func (c *Replicating) chargeRoots(m *Mutator, n int) {
 	c.stats.RootSlotUpdates += int64(n)
@@ -1039,22 +1042,18 @@ func (c *Replicating) minorFlip(m *Mutator) error {
 		h.Store(e.Obj, int(e.Slot), h.ForwardAddr(v))
 		c.stats.FlipEntryUpdates++
 		m.Clock.Charge(simtime.AcctFlip, m.Cost.FlipEntry)
-		if c.majorActive {
-			// The newly referenced promoted object is reachable from old
-			// data: trace it. If the holder is an old-from object, the
-			// major must also observe the store (reapply to its replica).
-			c.queueGray(h.ForwardAddr(v))
-			if h.OldFrom().Contains(e.Obj) {
-				m.Log.Append(LogEntry{Obj: e.Obj, Slot: e.Slot})
-			} else {
-				c.queueGray(e.Obj)
-			}
+		if c.majorActive && h.OldFrom().Contains(e.Obj) {
+			// If the holder is an old-from object, the major must also
+			// observe the store (reapply to its replica). The promoted
+			// referent itself needs no queueing: it lives in old-to, which
+			// the major cursor scans by address.
+			m.Log.Append(LogEntry{Obj: e.Obj, Slot: e.Slot})
 		}
 	}
 	c.minorRootSeqs = c.minorRootSeqs[:0]
 
-	// Update every mutator root; while a major is active the promoted
-	// replicas the roots now reference are live and must be traced.
+	// Update every mutator root; promoted replicas the roots now reference
+	// live in old-to, where an active major's cursor scans them by address.
 	n := m.Roots.Visit(func(slot *heap.Value) {
 		v := *slot
 		if h.Nursery.Contains(v) {
@@ -1063,7 +1062,6 @@ func (c *Replicating) minorFlip(m *Mutator) error {
 				panic("core: unreplicated root at minor flip")
 			}
 			*slot = h.ForwardAddr(v)
-			c.queueGray(*slot)
 		}
 	})
 	c.stats.RootSlotUpdates += int64(n)
@@ -1180,18 +1178,17 @@ func (c *Replicating) afterMinorFlip(m *Mutator, force bool) (bool, error) {
 
 // startMajor begins a major collection cycle. It must be called right after
 // a minor flip, when the nursery is empty and no old→nursery pointers
-// exist. From this moment promotions land in old-to (allocated black) and
-// the unified scan cursor moves there with them.
+// exist. From this moment promotions land in old-to (allocated black for
+// the minor generation) and the major cursor sweeps old-to behind them;
+// old-to is empty here (the previous major flip reset it), so the cursor
+// starts at the bottom of the space.
 func (c *Replicating) startMajor(m *Mutator) {
 	c.majorActive = true
 	c.majorLogCursor = m.Log.Len()
 	c.scan = c.h.OldTo().Next
 	c.scanSlot = 0
-	words := c.h.OldTo().Cap - c.h.OldTo().Lo
-	c.graySeen = make([]uint64, words/64+1)
-	c.grayQ = c.grayQ[:0]
-	c.grayCur = heap.Nil
-	c.graySlot = 0
+	c.majorScan = c.h.OldTo().Next
+	c.majorScanSlot = 0
 	c.fixupSeen = make(map[fixup]struct{})
 }
 
@@ -1260,11 +1257,6 @@ logLoop:
 				continue
 			}
 			v := h.Load(e.Obj, int(e.Slot))
-			if h.OldTo().Contains(v) {
-				// The replica may already have been scanned; make sure
-				// the newly referenced to-space object is traced.
-				c.queueGray(v)
-			}
 			nv, err := c.toSpaceValue(m, v, replica, int(e.Slot))
 			if err != nil {
 				return rewind(err)
@@ -1272,17 +1264,17 @@ logLoop:
 			h.Store(replica, int(e.Slot), nv)
 
 		case h.OldTo().Contains(e.Obj):
-			// A mutator-visible to-space object received a store: the
-			// object is live, so make sure it is traced, and handle a
-			// from-space value per the mutability rule (the direct store
-			// covers the case where the object was already scanned).
-			c.queueGray(e.Obj)
+			// A mutator-visible to-space object received a store. The
+			// object itself is swept by the major cursor regardless, but
+			// if the cursor has already passed it a stored from-space
+			// value would go unseen — so the direct-store handler deals
+			// with it here, per the mutability rule. To-space values need
+			// nothing: their referents are scanned by address.
 			if e.Byte {
 				continue
 			}
 			v := h.Load(e.Obj, int(e.Slot))
-			switch {
-			case h.OldFrom().Contains(v):
+			if h.OldFrom().Contains(v) {
 				nv, err := c.toSpaceValue(m, v, e.Obj, int(e.Slot))
 				if err != nil {
 					return rewind(err)
@@ -1290,8 +1282,6 @@ logLoop:
 				if nv != v {
 					h.Store(e.Obj, int(e.Slot), nv)
 				}
-			case h.OldTo().Contains(v):
-				c.queueGray(v)
 			}
 		}
 	}
@@ -1300,18 +1290,19 @@ logLoop:
 		return false, nil
 	}
 
-	// 2. Trace the gray worklist.
-	if done, err := c.scanGray(m, force); !done {
+	// 2. Advance the implicit Cheney scan toward the old-to frontier.
+	if done, err := c.scanMajor(m, force); !done {
 		return false, err
 	}
 
-	// 3. Queue and log are drained: attempt completion. Scan the mutator
+	// 3. Scan and log are drained: attempt completion. Scan the mutator
 	// roots (the nursery is empty right after a minor flip, so roots
 	// reference only the old generation or immediates); from-space
 	// referents are replicated — the roots themselves are only redirected
-	// at the flip — and to-space referents are queued for tracing. As with
-	// the minor collection, roots are scanned once per completion attempt
-	// rather than once per increment.
+	// at the flip — and to-space referents need no action, since the
+	// cursor sweeps them by address. As with the minor collection, roots
+	// are scanned once per completion attempt rather than once per
+	// increment.
 	if !postFlip {
 		return false, nil
 	}
@@ -1322,8 +1313,7 @@ logLoop:
 			return
 		}
 		v := *slot
-		switch {
-		case h.OldFrom().Contains(v):
+		if h.OldFrom().Contains(v) {
 			if _, err := c.replicateMajor(m, v); err != nil {
 				visitErr = err
 				return
@@ -1331,8 +1321,6 @@ logLoop:
 			if c.overBudget(force) {
 				aborted = true
 			}
-		case h.OldTo().Contains(v):
-			c.queueGray(v)
 		}
 	})
 	c.chargeRoots(m, n)
@@ -1342,8 +1330,9 @@ logLoop:
 	if aborted {
 		return false, nil
 	}
-	// The roots may have enqueued fresh work; finish tracing it.
-	if done, err := c.scanGray(m, force); !done {
+	// Root replication pushed fresh copies above the cursor; finish the
+	// sweep.
+	if done, err := c.scanMajor(m, force); !done {
 		return false, err
 	}
 
@@ -1355,16 +1344,16 @@ logLoop:
 			if done, err := c.drainDeferredMajorMutables(m, force); !done {
 				return false, err
 			}
-			if len(c.grayQ) == 0 && c.grayCur == heap.Nil {
+			if c.majorScanDone() {
 				break
 			}
-			if done, err := c.scanGray(m, force); !done {
+			if done, err := c.scanMajor(m, force); !done {
 				return false, err
 			}
 		}
 	}
 
-	if c.majorLogCursor != m.Log.Len() || len(c.grayQ) > 0 || c.grayCur != heap.Nil {
+	if c.majorLogCursor != m.Log.Len() || !c.majorScanDone() {
 		return false, nil
 	}
 	if err := c.majorFlip(m); err != nil {
@@ -1423,10 +1412,8 @@ func (c *Replicating) majorFlip(m *Mutator) error {
 	c.scanSlot = 0
 	c.skips = c.skips[:0]
 	c.minorSkipIdx = 0
-	c.grayQ = nil
-	c.graySeen = nil
-	c.grayCur = heap.Nil
-	c.graySlot = 0
+	c.majorScan = 0
+	c.majorScanSlot = 0
 	c.majorActive = false
 	c.promotedSinceMajor = 0
 	c.stats.MajorCollections++

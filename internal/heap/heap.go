@@ -32,6 +32,12 @@ type Heap struct {
 	oldB    Space
 	oldFrom *Space // current old space (minor collections promote here)
 	oldTo   *Space // reserve semispace (major collections copy here)
+
+	// Log-epoch coalescing side table (see stamp.go). stamps parallels
+	// Arena word-for-word; a stamp equal to logEpoch marks a word whose
+	// mutation is already recorded in the log for the current cycle.
+	stamps   []uint32
+	logEpoch uint32
 }
 
 // New builds a heap from cfg.
@@ -49,6 +55,8 @@ func New(cfg Config) *Heap {
 	// Word 0 is reserved so that Value(0) is never a valid object pointer.
 	lo := uint64(1)
 	h := &Heap{Arena: make([]Value, lo+nCap+2*oCap)}
+	h.stamps = make([]uint32, len(h.Arena))
+	h.logEpoch = 1
 	h.Nursery = Space{Name: "nursery", Lo: lo, Cap: lo + nCap}
 	h.oldA = Space{Name: "oldA", Lo: lo + nCap, Cap: lo + nCap + oCap}
 	h.oldB = Space{Name: "oldB", Lo: lo + nCap + oCap, Cap: lo + nCap + 2*oCap}

@@ -1,0 +1,73 @@
+package heap
+
+// Log-epoch stamps: the coalescing side table for the mutation log.
+//
+// The replication invariant tolerates stale replicas only as recorded in the
+// mutation log, and log entries carry no values — the collector re-reads the
+// slot from the original at apply time. Two entries for the same slot in the
+// same collection cycle are therefore redundant: applying either one copies
+// the slot's *current* contents. The side table below lets the write barrier
+// detect that redundancy with one load and one compare.
+//
+// Each arena word has a uint32 stamp. The heap carries a current log epoch,
+// advanced by the collector at the start of every pause (BeginLogEpoch). A
+// stamp equal to the current epoch means: the log already retains an entry
+// covering this word, appended since every active log cursor last moved —
+// cursors only advance during pauses, and a pause begins by advancing the
+// epoch, so stamps from earlier epochs can never vouch for an entry a cursor
+// has already consumed. The barrier may then skip the append entirely.
+//
+// On the rare uint32 wraparound the whole table is cleared, which merely
+// costs one round of duplicate log entries — stamps are an optimisation,
+// never a correctness input.
+
+// BeginLogEpoch starts a new coalescing epoch, invalidating every dirty
+// stamp at O(1) cost. Collectors call it on entry to each pause, before any
+// log cursor moves.
+func (h *Heap) BeginLogEpoch() {
+	h.logEpoch++
+	if h.logEpoch == 0 {
+		for i := range h.stamps {
+			h.stamps[i] = 0
+		}
+		h.logEpoch = 1
+	}
+}
+
+// SlotDirty reports whether payload word i of object p was already marked
+// dirty in the current epoch, i.e. whether the mutation log still retains an
+// unconsumed entry covering the word. This is the write barrier's fast-path
+// load+compare.
+func (h *Heap) SlotDirty(p Value, i int) bool {
+	return h.stamps[p.index()+uint64(i)] == h.logEpoch
+}
+
+// MarkSlotDirty stamps payload word i of object p with the current epoch.
+// The caller must have appended (or be about to append, within the same
+// mutator operation) a log entry covering the word.
+func (h *Heap) MarkSlotDirty(p Value, i int) {
+	h.stamps[p.index()+uint64(i)] = h.logEpoch
+}
+
+// WordsDirty reports whether payload words [i, i+n) of object p are all
+// stamped in the current epoch. Byte-range stores coalesce at word
+// granularity, so their fast path needs the conjunction over the covered
+// words.
+func (h *Heap) WordsDirty(p Value, i, n int) bool {
+	base := p.index() + uint64(i)
+	for k := uint64(0); k < uint64(n); k++ {
+		if h.stamps[base+k] != h.logEpoch {
+			return false
+		}
+	}
+	return true
+}
+
+// MarkWordsDirty stamps payload words [i, i+n) of object p with the current
+// epoch.
+func (h *Heap) MarkWordsDirty(p Value, i, n int) {
+	base := p.index() + uint64(i)
+	for k := uint64(0); k < uint64(n); k++ {
+		h.stamps[base+k] = h.logEpoch
+	}
+}

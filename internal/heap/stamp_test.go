@@ -1,0 +1,68 @@
+package heap
+
+import "testing"
+
+func TestStampEpochBasics(t *testing.T) {
+	h := testHeap()
+	p, ok := h.AllocIn(&h.Nursery, KindRecord, 4)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if h.SlotDirty(p, 0) {
+		t.Fatal("fresh object reported dirty")
+	}
+	h.MarkSlotDirty(p, 0)
+	if !h.SlotDirty(p, 0) {
+		t.Fatal("MarkSlotDirty did not stick")
+	}
+	if h.SlotDirty(p, 1) {
+		t.Fatal("neighbouring slot reported dirty")
+	}
+	h.BeginLogEpoch()
+	if h.SlotDirty(p, 0) {
+		t.Fatal("stamp survived an epoch advance")
+	}
+}
+
+func TestStampWordRanges(t *testing.T) {
+	h := testHeap()
+	p, ok := h.AllocIn(&h.Nursery, KindBytes, 64)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if h.WordsDirty(p, 0, 3) {
+		t.Fatal("fresh range reported dirty")
+	}
+	h.MarkWordsDirty(p, 1, 2)
+	if !h.WordsDirty(p, 1, 2) {
+		t.Fatal("marked range not dirty")
+	}
+	if h.WordsDirty(p, 0, 3) {
+		t.Fatal("range with one clean word reported dirty")
+	}
+	h.MarkSlotDirty(p, 0)
+	if !h.WordsDirty(p, 0, 3) {
+		t.Fatal("fully marked range not dirty")
+	}
+}
+
+// TestStampEpochWraparound drives the uint32 epoch through zero and checks
+// the table is cleared rather than letting ancient stamps alias the new
+// epoch — a stale "dirty" answer would suppress a needed log entry.
+func TestStampEpochWraparound(t *testing.T) {
+	h := testHeap()
+	p, ok := h.AllocIn(&h.Nursery, KindRecord, 2)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	h.MarkSlotDirty(p, 0)
+	h.logEpoch = ^uint32(0) // jump to the last epoch value
+	h.MarkSlotDirty(p, 1)
+	h.BeginLogEpoch() // wraps: table cleared, epoch restarts at 1
+	if h.logEpoch != 1 {
+		t.Fatalf("epoch after wraparound = %d, want 1", h.logEpoch)
+	}
+	if h.SlotDirty(p, 0) || h.SlotDirty(p, 1) {
+		t.Fatal("stamps survived the wraparound clear")
+	}
+}

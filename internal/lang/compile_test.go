@@ -216,7 +216,7 @@ func TestCompilerHeapFootprint(t *testing.T) {
 	if allocated < int64(4*len(src)) {
 		t.Fatalf("compiler allocated only %d bytes for %d bytes of source", allocated, len(src))
 	}
-	if m.LogWrites == 0 {
-		t.Fatal("code emission produced no logged byte mutations")
+	if m.LogWrites == 0 && m.BarrierFastSkips == 0 {
+		t.Fatal("code emission produced no write-barrier traffic (neither log entries nor fast-path skips)")
 	}
 }

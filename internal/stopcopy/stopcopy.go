@@ -120,6 +120,10 @@ func (c *Collector) pause(m *core.Mutator, emergency bool) error {
 		return c.wedged
 	}
 	m.Clock.BeginPause()
+	// The pause consumes the mutation log (it is this collector's
+	// remembered set), so barrier coalescing stamps must expire here —
+	// same contract as the replicating collector (heap/stamp.go).
+	c.h.BeginLogEpoch()
 	at := m.Clock.Now()
 	start := c.stats.TotalBytesCopied()
 	logStart := c.stats.LogScanned
