@@ -1,6 +1,6 @@
 # repligc — common tasks. Everything is stdlib-only and offline.
 
-.PHONY: all build lint test race bench bench-smoke microbench experiments quick-experiments examples clean
+.PHONY: all build lint test race bench bench-smoke trace microbench experiments quick-experiments examples clean
 
 all: build lint test
 
@@ -33,6 +33,14 @@ bench:
 bench-smoke:
 	go run ./cmd/rtgc-bench -quick -out /tmp/bench_smoke.json perf
 	go run ./cmd/rtgc-bench validate /tmp/bench_smoke.json
+
+# Emit a Perfetto-loadable Chrome trace per paper workload (full scale) and
+# shape-check each artifact with the same validator CI uses.
+trace:
+	go run ./cmd/rtgc-bench -out /tmp/repligc_trace.json trace
+	go run ./cmd/rtgc-bench tracecheck /tmp/repligc_trace-primes.json
+	go run ./cmd/rtgc-bench tracecheck /tmp/repligc_trace-sort.json
+	go run ./cmd/rtgc-bench tracecheck /tmp/repligc_trace-comp.json
 
 # One testing.B benchmark per paper table/figure, at the quick scale.
 microbench:

@@ -9,12 +9,22 @@
 //	rtgc-bench [-quick] table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|ablations|all
 //	rtgc-bench [-quick] [-out FILE] perf
 //	rtgc-bench validate FILE
+//	rtgc-bench [-quick] [-out FILE] trace [workload]
+//	rtgc-bench tracecheck FILE
 //
 // "perf" emits the write-barrier coalescing trajectory (BENCH_PR3.json):
 // per-workload baseline-vs-coalesced log and pause metrics in simulated
 // time, plus wall-clock barrier ns/op. "validate" checks a previously
 // emitted report's schema and internal consistency (the CI smoke check —
 // shape only, never thresholds on the numbers).
+//
+// "trace" runs the paper workloads (Primes, Sort, Comp — or just the one
+// named) under the full real-time configuration with the event recorder
+// attached, prints each run's trace digest (pause quantiles, MMU curve,
+// per-phase attribution) and, with -out, writes a Chrome trace-event JSON
+// per workload (Perfetto-loadable; "-out x.json" yields x-primes.json
+// etc.). "tracecheck" validates a previously emitted Chrome trace's shape
+// (balanced B/E events, ordered timestamps) — the CI artifact check.
 package main
 
 import (
@@ -32,13 +42,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: rtgc-bench [-quick] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "       rtgc-bench [-quick] [-out FILE] perf\n")
 		fmt.Fprintf(os.Stderr, "       rtgc-bench validate FILE\n")
+		fmt.Fprintf(os.Stderr, "       rtgc-bench [-quick] [-out FILE] trace [Primes|Sort|Comp]\n")
+		fmt.Fprintf(os.Stderr, "       rtgc-bench tracecheck FILE\n")
 		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 ablations all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	wantArgs := 1
-	if flag.NArg() > 0 && flag.Arg(0) == "validate" {
+	switch {
+	case flag.NArg() > 0 && (flag.Arg(0) == "validate" || flag.Arg(0) == "tracecheck"):
 		wantArgs = 2
+	case flag.NArg() == 2 && flag.Arg(0) == "trace":
+		wantArgs = 2 // optional workload selector
 	}
 	if flag.NArg() != wantArgs {
 		flag.Usage()
@@ -128,6 +143,10 @@ func main() {
 			return runPerf(scale, scaleName, *out)
 		case "validate":
 			return runValidate(flag.Arg(1))
+		case "trace":
+			return runTrace(scale, flag.Arg(1), *out)
+		case "tracecheck":
+			return runTraceCheck(flag.Arg(1))
 		case "all":
 			for _, e := range []string{"table1", "fig5", "fig7", "fig8", "fig9", "fig10", "table2", "table3", "ablations"} {
 				if err := run(e); err != nil {

@@ -1,0 +1,91 @@
+package main
+
+// The "trace" subcommand: run the paper workloads under the full real-time
+// configuration with the event recorder attached, print each run's digest,
+// and optionally export Chrome trace-event JSON for Perfetto. The
+// "tracecheck" subcommand is the matching artifact validator CI runs.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repligc/internal/bench"
+	"repligc/internal/trace"
+)
+
+// tracePath derives the per-workload output file: "x.json" for Primes
+// becomes "x-primes.json".
+func tracePath(out, workload string) string {
+	ext := filepath.Ext(out)
+	return out[:len(out)-len(ext)] + "-" + strings.ToLower(workload) + ext
+}
+
+// runTrace traces one workload (or, with workload == "", all three) under
+// CfgRT in the paper's 50 ms parameter cell, printing the digest and — when
+// out is non-empty — writing a Chrome trace per workload.
+func runTrace(s bench.Scale, workload, out string) error {
+	workloads := []bench.Workload{bench.Primes(s), bench.Sort(s), bench.Comp(s)}
+	if workload != "" {
+		found := false
+		for _, w := range workloads {
+			if w.Name() == workload {
+				workloads, found = []bench.Workload{w}, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown workload %q (want Primes, Sort or Comp)", workload)
+		}
+	}
+	params := bench.PaperParams()[0]
+	for _, w := range workloads {
+		tr := trace.NewRecorder(1 << 20)
+		_, err := bench.Run(w, bench.RunConfig{Config: bench.CfgRT, Params: params, Trace: tr})
+		if err != nil {
+			return fmt.Errorf("trace %s: %w", w.Name(), err)
+		}
+		an, err := trace.Analyze(tr.Events())
+		if err != nil {
+			return fmt.Errorf("trace %s: %w", w.Name(), err)
+		}
+		fmt.Print(trace.Summary(fmt.Sprintf("%s (%s, %v)", w.Name(), bench.CfgRT, params), an, tr.Dropped()))
+		if out == "" {
+			continue
+		}
+		labels := map[string]string{
+			"workload":  w.Name(),
+			"collector": string(bench.CfgRT),
+			"params":    params.String(),
+		}
+		data, err := trace.ChromeTrace(tr.Events(), labels)
+		if err != nil {
+			return fmt.Errorf("trace %s: %w", w.Name(), err)
+		}
+		// Self-check before writing: an artifact that would fail
+		// tracecheck must never be produced in the first place.
+		if err := trace.ValidateChrome(data); err != nil {
+			return fmt.Errorf("trace %s: emitted trace failed validation: %w", w.Name(), err)
+		}
+		path := tracePath(out, w.Name())
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("trace %s: %w", w.Name(), err)
+		}
+		fmt.Printf("wrote %s (%d events)\n", path, tr.Len())
+	}
+	return nil
+}
+
+// runTraceCheck validates a previously emitted Chrome trace file's shape.
+func runTraceCheck(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.ValidateChrome(data); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: valid Chrome trace\n", path)
+	return nil
+}

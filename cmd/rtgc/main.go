@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repligc/internal/core"
 	"repligc/internal/heap"
 	"repligc/internal/lang"
 	"repligc/internal/simtime"
 	"repligc/internal/stopcopy"
+	"repligc/internal/trace"
 	"repligc/internal/vm"
 )
 
@@ -34,7 +36,8 @@ func main() {
 	disasm := flag.Bool("S", false, "print the compiled bytecode instead of running")
 	census := flag.Bool("census", false, "print a live-object census by kind after the run")
 	prelude := flag.Bool("prelude", false, "prepend the MiniML standard prelude")
-	trace := flag.String("trace", "", "write a CSV of every collector pause to this file")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the run to this file")
+	traceSummary := flag.Bool("trace-summary", false, "print the trace digest (pause quantiles, MMU, phases) to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rtgc [flags] program.ml")
@@ -83,6 +86,17 @@ func main() {
 	}
 	m.AttachGC(gc)
 
+	// The recorder is always attached: it charges nothing to the simulated
+	// clock, so the run is identical with or without it, and a late decision
+	// to look at -stats still has data.
+	tr := trace.NewRecorder(1 << 18)
+	m.Trace = tr
+	clock := m.Clock
+	h.EpochHook = func(epoch uint32) { tr.LogEpoch(clock.Now(), int64(epoch)) }
+	if ts, ok := gc.(interface{ SetTrace(*trace.Recorder) }); ok {
+		ts.SetTrace(tr)
+	}
+
 	text := string(src)
 	if *prelude {
 		text = lang.Prelude + text
@@ -104,11 +118,29 @@ func main() {
 		runErr = err
 	}
 
-	if *trace != "" {
-		if err := os.WriteFile(*trace, []byte(gc.Pauses().CSV()), 0o644); err != nil {
+	an, anErr := trace.Analyze(tr.Events())
+	if anErr != nil {
+		// The hook discipline should make this impossible; report, don't hide.
+		fmt.Fprintf(os.Stderr, "rtgc: malformed trace: %v\n", anErr)
+	}
+	if *traceFile != "" {
+		labels := map[string]string{
+			"program":   flag.Arg(0),
+			"collector": gc.Name(),
+			//gclint:allow wallclock -- exporter glue: the wall-clock stamp only labels the artifact; nothing simulated reads it
+			"exported_at": time.Now().UTC().Format(time.RFC3339),
+		}
+		data, err := trace.ChromeTrace(tr.Events(), labels)
+		if err == nil {
+			err = os.WriteFile(*traceFile, data, 0o644)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "rtgc: writing trace: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *traceSummary && an != nil {
+		fmt.Fprintf(os.Stderr, "\n%s", trace.Summary(flag.Arg(0), an, tr.Dropped()))
 	}
 	if runErr != nil {
 		// Every program-level failure — MiniML runtime errors and heap
@@ -131,6 +163,20 @@ func main() {
 			st.PauseCount, rec.Percentile(50), rec.Percentile(99), rec.Max())
 		fmt.Fprintf(os.Stderr, "log entries        %d written, %d reapplied\n",
 			m.LogWrites, st.LogReapplied)
+		if an != nil {
+			fmt.Fprintf(os.Stderr, "utilization        %.1f%%\n", 100*an.Utilization())
+			mmu := "MMU               "
+			for _, pt := range an.MMUCurve(an.StandardWindows()) {
+				mmu += fmt.Sprintf(" %v=%.1f%%", pt.Window, 100*pt.Utilization)
+			}
+			fmt.Fprintln(os.Stderr, mmu)
+			for p := trace.Phase(0); p < trace.NumPhases; p++ {
+				if an.PhaseCount[p] == 0 {
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "phase %-12s %v over %d spans\n", p, an.PhaseTime[p], an.PhaseCount[p])
+			}
+		}
 	}
 	if *census {
 		fmt.Fprintf(os.Stderr, "\n--- live-object census ---\n")

@@ -21,6 +21,9 @@ var goldenCases = []struct {
 }{
 	{"barrier", "repligc/internal/fixbarrier"},
 	{"wallclock", "repligc/internal/fixwallclock"},
+	// Masquerades as a cmd/ package: exporter glue is in scope for the
+	// wallclock rule, with the annotated stamp as the allowed exception.
+	{"wallclockcmd", "repligc/cmd/fixwallclockcmd"},
 	{"maprange", "repligc/internal/fixmaprange"},
 	{"exhaustive", "repligc/internal/fixexhaustive"},
 	{"forward", "repligc/internal/fixforward"},

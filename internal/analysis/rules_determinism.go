@@ -39,7 +39,11 @@ var wallClockFuncs = map[string]bool{
 
 // Appraise implements Rule.
 func (r *WallClockRule) Appraise(pass *Pass) {
-	if !strings.HasPrefix(pass.Pkg.Path, "repligc/internal/") {
+	// internal/ is the simulation; cmd/ is in scope too so that exporter
+	// glue stamping artifacts with wall-clock metadata stays an explicit,
+	// annotated exception (the trace subsystem itself must never read it).
+	p := pass.Pkg.Path
+	if !strings.HasPrefix(p, "repligc/internal/") && !strings.HasPrefix(p, "repligc/cmd/") {
 		return
 	}
 	for _, f := range pass.Pkg.Files {

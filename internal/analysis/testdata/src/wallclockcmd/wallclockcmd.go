@@ -1,0 +1,15 @@
+// Package fixwallclockcmd exercises the wallclock rule's cmd/ scope:
+// exporter glue may stamp artifacts with wall-clock metadata behind an
+// explicit annotation, but an unannotated read is still flagged.
+package fixwallclockcmd
+
+import "time"
+
+func exportLabel() string {
+	//gclint:allow wallclock -- exporter glue: the stamp only labels an artifact; nothing simulated reads it
+	return time.Now().UTC().Format(time.RFC3339)
+}
+
+func sneaky() time.Time {
+	return time.Now()
+}

@@ -16,10 +16,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+
+	"repligc/internal/trace"
 )
 
 // PerfSchema identifies the report layout; bump on incompatible change.
-const PerfSchema = "repligc-bench/1"
+// repligc-bench/2 added per-leg MMU curves and per-phase pause attribution
+// (from the internal/trace subsystem).
+const PerfSchema = "repligc-bench/2"
 
 // PerfReport is the document serialised to BENCH_PR3.json.
 type PerfReport struct {
@@ -73,10 +77,30 @@ type PerfLeg struct {
 	PauseMedianMs   float64 `json:"pause_median_ms"`
 	PauseP95Ms      float64 `json:"pause_p95_ms"`
 	PauseMaxMs      float64 `json:"pause_max_ms"`
+
+	// MMU is the minimum-mutator-utilization curve over the standard
+	// window ladder; Phases attributes pause time to collection phases.
+	// Both come from the internal/trace recorder attached to the leg
+	// (schema repligc-bench/2).
+	MMU    []MMUPoint  `json:"mmu"`
+	Phases []PhaseTime `json:"phase_ms"`
 }
 
-// perfLeg distils a Result.
-func perfLeg(r *Result) PerfLeg {
+// MMUPoint is one point of a leg's MMU curve.
+type MMUPoint struct {
+	WindowMs    float64 `json:"window_ms"`
+	Utilization float64 `json:"utilization"`
+}
+
+// PhaseTime attributes pause time to one collection phase.
+type PhaseTime struct {
+	Phase string  `json:"phase"`
+	Ms    float64 `json:"ms"`
+	Count int     `json:"count"`
+}
+
+// perfLeg distils a Result plus its trace digest.
+func perfLeg(r *Result, a *trace.Analysis) PerfLeg {
 	copied := r.Stats.TotalBytesCopied()
 	leg := PerfLeg{
 		ElapsedMs:       r.Elapsed.Milliseconds(),
@@ -94,6 +118,22 @@ func perfLeg(r *Result) PerfLeg {
 	}
 	if secs := r.Elapsed.Seconds(); secs > 0 {
 		leg.ReplicationMBps = float64(copied) / (1 << 20) / secs
+	}
+	for _, pt := range a.MMUCurve(a.StandardWindows()) {
+		leg.MMU = append(leg.MMU, MMUPoint{
+			WindowMs:    pt.Window.Milliseconds(),
+			Utilization: pt.Utilization,
+		})
+	}
+	for p := trace.Phase(0); p < trace.NumPhases; p++ {
+		if a.PhaseCount[p] == 0 {
+			continue
+		}
+		leg.Phases = append(leg.Phases, PhaseTime{
+			Phase: p.String(),
+			Ms:    a.PhaseTime[p].Milliseconds(),
+			Count: a.PhaseCount[p],
+		})
 	}
 	return leg
 }
@@ -121,22 +161,36 @@ func RunPerf(s Scale, scaleName string) (*PerfReport, error) {
 		Params:    perfParams().String(),
 		Scale:     scaleName,
 	}
+	// Each leg carries its own trace recorder for the MMU and phase
+	// sections. 2^20 events hold the full default-scale runs; a leg that
+	// overflows would only lose its oldest events, and Analyze still gets
+	// a consistent suffix.
 	for _, w := range []Workload{Primes(s), Sort(s), Comp(s)} {
-		base, err := Run(w, RunConfig{Config: CfgRT, Params: perfParams(), NaiveBarrier: true})
+		baseTr := trace.NewRecorder(1 << 20)
+		base, err := Run(w, RunConfig{Config: CfgRT, Params: perfParams(), NaiveBarrier: true, Trace: baseTr})
 		if err != nil {
 			return nil, fmt.Errorf("perf %s baseline: %w", w.Name(), err)
 		}
-		coal, err := Run(w, RunConfig{Config: CfgRT, Params: perfParams()})
+		coalTr := trace.NewRecorder(1 << 20)
+		coal, err := Run(w, RunConfig{Config: CfgRT, Params: perfParams(), Trace: coalTr})
 		if err != nil {
 			return nil, fmt.Errorf("perf %s coalesced: %w", w.Name(), err)
 		}
 		if base.Output != coal.Output {
 			return nil, fmt.Errorf("perf %s: barrier legs computed different results", w.Name())
 		}
+		baseA, err := trace.Analyze(baseTr.Events())
+		if err != nil {
+			return nil, fmt.Errorf("perf %s baseline trace: %w", w.Name(), err)
+		}
+		coalA, err := trace.Analyze(coalTr.Events())
+		if err != nil {
+			return nil, fmt.Errorf("perf %s coalesced trace: %w", w.Name(), err)
+		}
 		rep.Workloads = append(rep.Workloads, PerfWorkload{
 			Name:                w.Name(),
-			Baseline:            perfLeg(base),
-			Coalesced:           perfLeg(coal),
+			Baseline:            perfLeg(base, baseA),
+			Coalesced:           perfLeg(coal, coalA),
 			ReapplyReductionPct: reductionPct(base.Stats.LogReapplied, coal.Stats.LogReapplied),
 			AppendReductionPct:  reductionPct(base.LogWrites, coal.LogWrites),
 		})
@@ -212,6 +266,31 @@ func (l PerfLeg) check() error {
 	}
 	if l.LogReapplied > l.LogScanned {
 		return fmt.Errorf("re-applied %d entries but scanned only %d", l.LogReapplied, l.LogScanned)
+	}
+	if len(l.MMU) == 0 {
+		return fmt.Errorf("mmu curve is empty (schema %s requires it)", PerfSchema)
+	}
+	lastW := 0.0
+	for _, pt := range l.MMU {
+		if math.IsNaN(pt.WindowMs) || pt.WindowMs <= lastW {
+			return fmt.Errorf("mmu windows are not positive and strictly increasing (%v after %v)",
+				pt.WindowMs, lastW)
+		}
+		lastW = pt.WindowMs
+		if math.IsNaN(pt.Utilization) || pt.Utilization < 0 || pt.Utilization > 1 {
+			return fmt.Errorf("mmu(%v ms) = %v outside [0, 1]", pt.WindowMs, pt.Utilization)
+		}
+	}
+	if len(l.Phases) == 0 {
+		return fmt.Errorf("phase attribution is empty (schema %s requires it)", PerfSchema)
+	}
+	for _, ph := range l.Phases {
+		if ph.Phase == "" {
+			return fmt.Errorf("phase attribution entry with empty phase name")
+		}
+		if math.IsNaN(ph.Ms) || math.IsInf(ph.Ms, 0) || ph.Ms < 0 || ph.Count <= 0 {
+			return fmt.Errorf("phase %s: %.3f ms over %d spans is not plausible", ph.Phase, ph.Ms, ph.Count)
+		}
 	}
 	return nil
 }

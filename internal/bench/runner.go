@@ -8,6 +8,7 @@ import (
 	"repligc/internal/policy"
 	"repligc/internal/simtime"
 	"repligc/internal/stopcopy"
+	"repligc/internal/trace"
 )
 
 // ConfigName selects one of the paper's five collector configurations
@@ -81,6 +82,12 @@ type RunConfig struct {
 	// nursery fast paths), restoring the append-every-store barrier. Used
 	// as the baseline leg of the perf trajectory (BENCH_PR3.json).
 	NaiveBarrier bool
+	// Trace, when non-nil, attaches an event recorder to the run: the
+	// mutator's allocation epochs, the heap's log epochs and the
+	// collector's pause/phase events all land in it. Tracing charges
+	// nothing to the simulated clock, so a traced run's measurements are
+	// bit-identical to an untraced one.
+	Trace *trace.Recorder
 }
 
 // Result is everything measured in one run.
@@ -177,7 +184,24 @@ func NewRuntime(rc RunConfig) (*Runtime, error) {
 		return nil, fmt.Errorf("bench: unknown configuration %q", rc.Config)
 	}
 	m.AttachGC(gc)
+	if rc.Trace != nil {
+		AttachTrace(&Runtime{Heap: h, Mutator: m, GC: gc}, rc.Trace)
+	}
 	return &Runtime{Heap: h, Mutator: m, GC: gc}, nil
+}
+
+// AttachTrace wires recorder r into every hook point of rt: the mutator's
+// allocation epochs, the heap's log-epoch hook, and the collector's pause
+// and phase events (any collector implementing SetTrace).
+func AttachTrace(rt *Runtime, r *trace.Recorder) {
+	rt.Mutator.Trace = r
+	clock := rt.Mutator.Clock
+	rt.Heap.EpochHook = func(epoch uint32) {
+		r.LogEpoch(clock.Now(), int64(epoch))
+	}
+	if ts, ok := rt.GC.(interface{ SetTrace(*trace.Recorder) }); ok {
+		ts.SetTrace(r)
+	}
 }
 
 // Run executes workload w under rc and returns the measurements.

@@ -3,6 +3,7 @@ package core
 import (
 	"repligc/internal/heap"
 	"repligc/internal/simtime"
+	"repligc/internal/trace"
 )
 
 // Mutator is the interface through which all application code (the MiniML
@@ -51,8 +52,20 @@ type Mutator struct {
 	// would be pure overhead.
 	BarrierDirtySkips int64
 
+	// Trace, when non-nil, receives allocation-epoch events (one every
+	// AllocEpochBytes of allocation). The hook lives on the slow-path side
+	// of chargeAlloc, never in the write barrier, so the barrier fast
+	// paths stay allocation-free with tracing on or off.
+	Trace *trace.Recorder
+
+	traceAllocMark int64 // BytesAllocated threshold for the next epoch event
+
 	handles handleStack
 }
+
+// AllocEpochBytes is the allocation volume between consecutive
+// alloc-epoch trace events.
+const AllocEpochBytes = 256 << 10
 
 // NewMutator wires a mutator to a heap and clock; the collector is attached
 // separately (collectors need the mutator during construction of a run).
@@ -203,6 +216,10 @@ func (m *Mutator) allocOld(k heap.Kind, n int) (heap.Value, error) {
 func (m *Mutator) chargeAlloc(hdr heap.Header) {
 	m.Clock.Charge(simtime.AcctAlloc, simtime.Duration(hdr.SizeWords())*m.Cost.AllocWord)
 	m.BytesAllocated += hdr.SizeBytes()
+	if m.Trace != nil && m.BytesAllocated >= m.traceAllocMark {
+		m.Trace.AllocEpoch(m.Clock.Now(), m.BytesAllocated)
+		m.traceAllocMark = m.BytesAllocated + AllocEpochBytes
+	}
 }
 
 // Get reads payload word i of p. No barrier, no forwarding check.

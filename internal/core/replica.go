@@ -6,6 +6,7 @@ import (
 	"repligc/internal/heap"
 	"repligc/internal/policy"
 	"repligc/internal/simtime"
+	"repligc/internal/trace"
 )
 
 // Config parameterises the replication collector with the paper's knobs.
@@ -153,6 +154,7 @@ type Replicating struct {
 	h     *heap.Heap
 	stats GCStats
 	rec   simtime.Recorder
+	tr    *trace.Recorder // nil when tracing is disabled (every emit is a nil check)
 
 	// Cheney state. The minor scan covers only the objects promoted in
 	// the current cycle (it rewrites their nursery pointers before the
@@ -239,6 +241,19 @@ func (c *Replicating) Stats() *GCStats { return &c.stats }
 // Pauses implements Collector.
 func (c *Replicating) Pauses() *simtime.Recorder { return &c.rec }
 
+// SetTrace attaches an event recorder; nil detaches it. Trace emission
+// charges nothing to the simulated clock, so traced and untraced runs are
+// bit-for-bit identical.
+func (c *Replicating) SetTrace(r *trace.Recorder) { c.tr = r }
+
+// phase opens a trace phase and returns its closer; callers invoke the
+// closer exactly once, on every exit path, so begin/end events stay balanced
+// even when an increment ends in a typed exhaustion error.
+func (c *Replicating) phase(m *Mutator, p trace.Phase) func() {
+	c.tr.PhaseBegin(m.Clock.Now(), p)
+	return func() { c.tr.PhaseEnd(m.Clock.Now(), p) }
+}
+
 // AfterAlloc implements Collector; flip points are steered by nursery
 // limits, so nothing happens here.
 func (c *Replicating) AfterAlloc(m *Mutator) {}
@@ -324,11 +339,13 @@ func (c *Replicating) AllocTax(m *Mutator, bytes int64) error {
 		// Only the major collection has pending work: run a mid-cycle
 		// major increment without forcing a (trivial) minor collection.
 		m.Clock.BeginPause()
+		at := m.Clock.Now()
+		c.tr.PauseBegin(at)
+		c.tr.Counters(at, m.LogWrites, m.BarrierFastSkips, m.BarrierDirtySkips)
 		// Log cursors may move below: start a fresh coalescing epoch so
 		// barrier stamps from before this micro-pause cannot vouch for
 		// entries the cursor is about to consume (heap/stamp.go).
 		c.h.BeginLogEpoch()
-		at := m.Clock.Now()
 		c.pauseCopied, c.pauseLogProcd, c.pauseWork = 0, 0, 0
 		c.stats.PauseCount++
 		_, err = c.runMajorIncrement(m, false, false)
@@ -336,6 +353,7 @@ func (c *Replicating) AllocTax(m *Mutator, bytes int64) error {
 			At: at, Length: m.Clock.EndPause(), Kind: simtime.PauseMinor,
 			CopiedB: c.pauseCopied, LogProcN: c.pauseLogProcd,
 		})
+		c.tr.PauseEnd(m.Clock.Now(), c.pauseCopied, c.pauseLogProcd, int64(simtime.PauseMinor))
 	}
 	c.microLimit = 0
 	return err
@@ -387,12 +405,19 @@ func (c *Replicating) CollectEmergency(m *Mutator) error {
 // typed exhaustion error, so degraded runs report honest long pauses.
 func (c *Replicating) pause(m *Mutator, needWords int, force bool) error {
 	m.Clock.BeginPause()
+	at := m.Clock.Now()
+	c.tr.PauseBegin(at)
+	c.tr.Counters(at, m.LogWrites, m.BarrierFastSkips, m.BarrierDirtySkips)
+	if c.emergency {
+		// CollectEmergency escalated before entering the pause; mark the
+		// rung as a distinct (instantaneous) phase.
+		c.tr.PhaseMark(at, trace.PhaseEmergency)
+	}
 	// Every pause starts a fresh log-coalescing epoch before any cursor
 	// moves: dirty stamps written by the barrier since the previous pause
 	// vouch for entries this pause may now consume, so they must expire
 	// here (heap/stamp.go spells out the invariant).
 	c.h.BeginLogEpoch()
-	at := m.Clock.Now()
 	c.pauseCopied, c.pauseLogProcd, c.pauseWork = 0, 0, 0
 	c.stats.PauseCount++
 
@@ -408,6 +433,7 @@ func (c *Replicating) pause(m *Mutator, needWords int, force bool) error {
 		At: at, Length: length, Kind: kind,
 		CopiedB: c.pauseCopied, LogProcN: c.pauseLogProcd,
 	})
+	c.tr.PauseEnd(m.Clock.Now(), c.pauseCopied, c.pauseLogProcd, int64(kind))
 	return err
 }
 
@@ -424,6 +450,7 @@ func (c *Replicating) pauseBody(m *Mutator, needWords int, force bool, kind *sim
 		c.emergency = true
 		c.stats.EmergencyCollections++
 		c.stats.ForcedCompletion++
+		c.tr.PhaseMark(m.Clock.Now(), trace.PhaseEmergency)
 	}
 
 	if !c.minorActive {
@@ -533,12 +560,18 @@ func (c *Replicating) runMinorIncrement(m *Mutator, force bool) (bool, error) {
 	// log processing is not incremental (paper §3.4) and ignores L; with
 	// BoundedLogProcessing it stops at the work limit and resumes at the
 	// next pause.
-	if done, err := c.processMinorLog(m, force); !done {
+	endPhase := c.phase(m, trace.PhaseLogReplay)
+	done, err := c.processMinorLog(m, force)
+	endPhase()
+	if !done {
 		return false, err
 	}
 
 	// 2. Cheney scan of the objects promoted this cycle.
-	if done, err := c.scanFresh(m, force); !done {
+	endPhase = c.phase(m, trace.PhaseCopy)
+	done, err = c.scanFresh(m, force)
+	endPhase()
+	if !done {
 		return false, err
 	}
 
@@ -551,6 +584,7 @@ func (c *Replicating) runMinorIncrement(m *Mutator, force bool) (bool, error) {
 	// increment.
 	aborted := false
 	var visitErr error
+	endPhase = c.phase(m, trace.PhaseRootScan)
 	n := m.Roots.Visit(func(slot *heap.Value) {
 		if aborted || visitErr != nil {
 			return
@@ -567,6 +601,7 @@ func (c *Replicating) runMinorIncrement(m *Mutator, force bool) (bool, error) {
 		}
 	})
 	c.chargeRoots(m, n)
+	endPhase()
 	if visitErr != nil {
 		return false, visitErr
 	}
@@ -574,17 +609,26 @@ func (c *Replicating) runMinorIncrement(m *Mutator, force bool) (bool, error) {
 		return false, nil
 	}
 	// The roots may have enqueued fresh copies; finish scanning them.
-	if done, err := c.scanFresh(m, force); !done {
+	endPhase = c.phase(m, trace.PhaseCopy)
+	done, err = c.scanFresh(m, force)
+	endPhase()
+	if !done {
 		return false, err
 	}
 
 	// 4. Lazy mode deferred its reapplies to this moment.
 	if c.cfg.LazyLogProcessing {
-		if err := c.drainLazyMinor(m); err != nil {
+		endPhase = c.phase(m, trace.PhaseLogReplay)
+		err := c.drainLazyMinor(m)
+		endPhase()
+		if err != nil {
 			return false, err
 		}
 		// Reapplication may have replicated new objects; finish scanning.
-		if done, err := c.scanFresh(m, true); !done {
+		endPhase = c.phase(m, trace.PhaseCopy)
+		done, err := c.scanFresh(m, true)
+		endPhase()
+		if !done {
 			if err != nil {
 				return false, err
 			}
@@ -596,13 +640,17 @@ func (c *Replicating) runMinorIncrement(m *Mutator, force bool) (bool, error) {
 	// each round of copies can expose more deferred references, so loop
 	// to a fixpoint.
 	for len(c.pendingMut) > 0 {
-		if err := c.drainPendingMutables(m); err != nil {
+		endPhase = c.phase(m, trace.PhaseCopy)
+		err := c.drainPendingMutables(m)
+		var done bool
+		if err == nil {
+			done, err = c.scanFresh(m, true)
+		}
+		endPhase()
+		if err != nil {
 			return false, err
 		}
-		if done, err := c.scanFresh(m, true); !done {
-			if err != nil {
-				return false, err
-			}
+		if !done {
 			//gclint:allow panicpath -- invariant: a forced scan has no budget to run out of
 			panic("core: pending-mutable completion scan did not finish")
 		}
@@ -611,7 +659,10 @@ func (c *Replicating) runMinorIncrement(m *Mutator, force bool) (bool, error) {
 		return false, nil
 	}
 
-	if err := c.minorFlip(m); err != nil {
+	endPhase = c.phase(m, trace.PhaseFlip)
+	err = c.minorFlip(m)
+	endPhase()
+	if err != nil {
 		return false, err
 	}
 	return true, nil
@@ -1205,8 +1256,113 @@ func (c *Replicating) runMajorIncrement(m *Mutator, force, postFlip bool) (bool,
 
 	// 1. Drain the major log: reapply mutations to existing replicas of
 	// old-from objects, and track from-space references stored into
-	// mutator-visible to-space objects. A typed exhaustion error rewinds
-	// the cursor to the failed entry, like the mid-cycle retry below.
+	// mutator-visible to-space objects.
+	endPhase := c.phase(m, trace.PhaseLogReplay)
+	done, err := c.processMajorLog(m, force, postFlip)
+	endPhase()
+	if !done {
+		return false, err
+	}
+
+	if c.overBudget(force) {
+		return false, nil
+	}
+
+	// 2. Advance the implicit Cheney scan toward the old-to frontier.
+	endPhase = c.phase(m, trace.PhaseCopy)
+	done, err = c.scanMajor(m, force)
+	endPhase()
+	if !done {
+		return false, err
+	}
+
+	// 3. Scan and log are drained: attempt completion. Scan the mutator
+	// roots (the nursery is empty right after a minor flip, so roots
+	// reference only the old generation or immediates); from-space
+	// referents are replicated — the roots themselves are only redirected
+	// at the flip — and to-space referents need no action, since the
+	// cursor sweeps them by address. As with the minor collection, roots
+	// are scanned once per completion attempt rather than once per
+	// increment.
+	if !postFlip {
+		return false, nil
+	}
+	aborted := false
+	var visitErr error
+	endPhase = c.phase(m, trace.PhaseRootScan)
+	n := m.Roots.Visit(func(slot *heap.Value) {
+		if aborted || visitErr != nil {
+			return
+		}
+		v := *slot
+		if h.OldFrom().Contains(v) {
+			if _, err := c.replicateMajor(m, v); err != nil {
+				visitErr = err
+				return
+			}
+			if c.overBudget(force) {
+				aborted = true
+			}
+		}
+	})
+	c.chargeRoots(m, n)
+	endPhase()
+	if visitErr != nil {
+		return false, visitErr
+	}
+	if aborted {
+		return false, nil
+	}
+	// Root replication pushed fresh copies above the cursor; finish the
+	// sweep.
+	endPhase = c.phase(m, trace.PhaseCopy)
+	done, err = c.scanMajor(m, force)
+	endPhase()
+	if !done {
+		return false, err
+	}
+
+	// Deferred mutable copies (§2.5) happen now: copy, trace their
+	// contents, and repeat until no pending copies remain — each round can
+	// expose further deferred references.
+	if c.cfg.DeferMutableCopies {
+		endPhase = c.phase(m, trace.PhaseCopy)
+		for {
+			if done, err := c.drainDeferredMajorMutables(m, force); !done {
+				endPhase()
+				return false, err
+			}
+			if c.majorScanDone() {
+				break
+			}
+			if done, err := c.scanMajor(m, force); !done {
+				endPhase()
+				return false, err
+			}
+		}
+		endPhase()
+	}
+
+	if c.majorLogCursor != m.Log.Len() || !c.majorScanDone() {
+		return false, nil
+	}
+	endPhase = c.phase(m, trace.PhaseFlip)
+	err = c.majorFlip(m)
+	endPhase()
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// processMajorLog consumes pending log entries for the major collection;
+// it reports whether log processing has gone as far as it can this
+// increment (a mid-cycle entry whose slot still holds a nursery pointer
+// parks the queue until the next minor flip, which counts as done). A
+// typed exhaustion error rewinds the cursor to the failed entry, like the
+// mid-cycle retry.
+func (c *Replicating) processMajorLog(m *Mutator, force, postFlip bool) (bool, error) {
+	h := c.h
 	rewind := func(err error) (bool, error) {
 		c.majorLogCursor--
 		c.stats.LogScanned--
@@ -1284,80 +1440,6 @@ logLoop:
 				}
 			}
 		}
-	}
-
-	if c.overBudget(force) {
-		return false, nil
-	}
-
-	// 2. Advance the implicit Cheney scan toward the old-to frontier.
-	if done, err := c.scanMajor(m, force); !done {
-		return false, err
-	}
-
-	// 3. Scan and log are drained: attempt completion. Scan the mutator
-	// roots (the nursery is empty right after a minor flip, so roots
-	// reference only the old generation or immediates); from-space
-	// referents are replicated — the roots themselves are only redirected
-	// at the flip — and to-space referents need no action, since the
-	// cursor sweeps them by address. As with the minor collection, roots
-	// are scanned once per completion attempt rather than once per
-	// increment.
-	if !postFlip {
-		return false, nil
-	}
-	aborted := false
-	var visitErr error
-	n := m.Roots.Visit(func(slot *heap.Value) {
-		if aborted || visitErr != nil {
-			return
-		}
-		v := *slot
-		if h.OldFrom().Contains(v) {
-			if _, err := c.replicateMajor(m, v); err != nil {
-				visitErr = err
-				return
-			}
-			if c.overBudget(force) {
-				aborted = true
-			}
-		}
-	})
-	c.chargeRoots(m, n)
-	if visitErr != nil {
-		return false, visitErr
-	}
-	if aborted {
-		return false, nil
-	}
-	// Root replication pushed fresh copies above the cursor; finish the
-	// sweep.
-	if done, err := c.scanMajor(m, force); !done {
-		return false, err
-	}
-
-	// Deferred mutable copies (§2.5) happen now: copy, trace their
-	// contents, and repeat until no pending copies remain — each round can
-	// expose further deferred references.
-	if c.cfg.DeferMutableCopies {
-		for {
-			if done, err := c.drainDeferredMajorMutables(m, force); !done {
-				return false, err
-			}
-			if c.majorScanDone() {
-				break
-			}
-			if done, err := c.scanMajor(m, force); !done {
-				return false, err
-			}
-		}
-	}
-
-	if c.majorLogCursor != m.Log.Len() || !c.majorScanDone() {
-		return false, nil
-	}
-	if err := c.majorFlip(m); err != nil {
-		return false, err
 	}
 	return true, nil
 }

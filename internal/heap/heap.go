@@ -38,6 +38,11 @@ type Heap struct {
 	// mutation is already recorded in the log for the current cycle.
 	stamps   []uint32
 	logEpoch uint32
+
+	// EpochHook, when non-nil, observes every BeginLogEpoch — the trace
+	// subsystem uses it to mark coalescing epochs. The heap stays free of
+	// trace (and simtime) dependencies; the hook owns its own timestamps.
+	EpochHook func(epoch uint32)
 }
 
 // New builds a heap from cfg.

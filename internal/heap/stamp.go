@@ -32,6 +32,9 @@ func (h *Heap) BeginLogEpoch() {
 		}
 		h.logEpoch = 1
 	}
+	if h.EpochHook != nil {
+		h.EpochHook(h.logEpoch)
+	}
 }
 
 // SlotDirty reports whether payload word i of object p was already marked

@@ -13,6 +13,7 @@ import (
 	"repligc/internal/heap"
 	"repligc/internal/policy"
 	"repligc/internal/simtime"
+	"repligc/internal/trace"
 )
 
 // Config parameterises the baseline collector.
@@ -52,6 +53,8 @@ type Collector struct {
 	// forwarding words are legal mid-collection).
 	promoHighWater int64
 	wedged         *core.OOMError
+
+	tr *trace.Recorder // nil when tracing is disabled (every emit is a nil check)
 }
 
 // New builds the baseline collector over h.
@@ -75,6 +78,17 @@ func (c *Collector) Stats() *core.GCStats { return &c.stats }
 
 // Pauses implements core.Collector.
 func (c *Collector) Pauses() *simtime.Recorder { return &c.rec }
+
+// SetTrace attaches an event recorder; nil detaches it.
+func (c *Collector) SetTrace(r *trace.Recorder) { c.tr = r }
+
+// phase opens a trace phase and returns its closer, stamped with the
+// simulated clock. Free when tracing is off: a nil recorder records
+// nothing.
+func (c *Collector) phase(m *core.Mutator, p trace.Phase) func() {
+	c.tr.PhaseBegin(m.Clock.Now(), p)
+	return func() { c.tr.PhaseEnd(m.Clock.Now(), p) }
+}
 
 // AfterAlloc implements core.Collector; collection points are steered by
 // nursery limits, so nothing happens here.
@@ -120,11 +134,13 @@ func (c *Collector) pause(m *core.Mutator, emergency bool) error {
 		return c.wedged
 	}
 	m.Clock.BeginPause()
+	at := m.Clock.Now()
+	c.tr.PauseBegin(at)
+	c.tr.Counters(at, m.LogWrites, m.BarrierFastSkips, m.BarrierDirtySkips)
 	// The pause consumes the mutation log (it is this collector's
 	// remembered set), so barrier coalescing stamps must expire here —
 	// same contract as the replicating collector (heap/stamp.go).
 	c.h.BeginLogEpoch()
-	at := m.Clock.Now()
 	start := c.stats.TotalBytesCopied()
 	logStart := c.stats.LogScanned
 	c.stats.PauseCount++
@@ -138,6 +154,9 @@ func (c *Collector) pause(m *core.Mutator, emergency bool) error {
 	if lowHeadroom && !emergency {
 		c.stats.EmergencyCollections++
 		c.stats.ForcedCompletion++
+	}
+	if emergency || lowHeadroom {
+		c.tr.PhaseMark(m.Clock.Now(), trace.PhaseEmergency)
 	}
 
 	kind := simtime.PauseMinor
@@ -166,6 +185,8 @@ func (c *Collector) pause(m *core.Mutator, emergency bool) error {
 		CopiedB:  c.stats.TotalBytesCopied() - start,
 		LogProcN: c.stats.LogScanned - logStart,
 	})
+	c.tr.PauseEnd(m.Clock.Now(), c.stats.TotalBytesCopied()-start,
+		c.stats.LogScanned-logStart, int64(kind))
 	return err
 }
 
@@ -212,6 +233,7 @@ func (c *Collector) minorCollect(m *core.Mutator) error {
 
 	// Remembered set: logged old-space slots holding nursery pointers are
 	// updated in place as they are processed — no flip traversal.
+	endPhase := c.phase(m, trace.PhaseLogReplay)
 	for c.logCursor < m.Log.Len() {
 		e := m.Log.At(c.logCursor)
 		c.logCursor++
@@ -224,14 +246,17 @@ func (c *Collector) minorCollect(m *core.Mutator) error {
 		if from.Contains(v) {
 			nv, err := c.forward(m, v, to, simtime.AcctMinorCopy, &c.stats.BytesCopiedMinor)
 			if err != nil {
+				endPhase()
 				return err
 			}
 			h.Store(e.Obj, int(e.Slot), nv)
 		}
 	}
+	endPhase()
 
 	// Roots.
 	var visitErr error
+	endPhase = c.phase(m, trace.PhaseRootScan)
 	n := m.Roots.Visit(func(slot *heap.Value) {
 		if visitErr != nil {
 			return
@@ -248,12 +273,16 @@ func (c *Collector) minorCollect(m *core.Mutator) error {
 	})
 	c.stats.RootSlotUpdates += int64(n)
 	m.Clock.Charge(simtime.AcctRootScan, simtime.Duration(n)*m.Cost.RootUpdate)
+	endPhase()
 	if visitErr != nil {
 		return visitErr
 	}
 
 	// Cheney scan of the promotion region.
-	if err := c.cheney(m, from, to, simtime.AcctMinorCopy, &c.stats.BytesCopiedMinor); err != nil {
+	endPhase = c.phase(m, trace.PhaseCopy)
+	err := c.cheney(m, from, to, simtime.AcctMinorCopy, &c.stats.BytesCopiedMinor)
+	endPhase()
+	if err != nil {
 		return err
 	}
 
@@ -315,6 +344,7 @@ func (c *Collector) majorCollect(m *core.Mutator) error {
 	c.scan = to.Next
 
 	var visitErr error
+	endPhase := c.phase(m, trace.PhaseRootScan)
 	n := m.Roots.Visit(func(slot *heap.Value) {
 		if visitErr != nil {
 			return
@@ -331,11 +361,15 @@ func (c *Collector) majorCollect(m *core.Mutator) error {
 	})
 	c.stats.RootSlotUpdates += int64(n)
 	m.Clock.Charge(simtime.AcctRootScan, simtime.Duration(n)*m.Cost.RootUpdate)
+	endPhase()
 	if visitErr != nil {
 		return visitErr
 	}
 
-	if err := c.cheney(m, from, to, simtime.AcctMajorCopy, &c.stats.BytesCopiedMajor); err != nil {
+	endPhase = c.phase(m, trace.PhaseCopy)
+	err := c.cheney(m, from, to, simtime.AcctMajorCopy, &c.stats.BytesCopiedMajor)
+	endPhase()
+	if err != nil {
 		return err
 	}
 

@@ -1,0 +1,247 @@
+package trace
+
+// The analysis layer: everything computed over a recorded trace. Pause
+// quantiles reuse simtime.Percentile — the one tested quantile
+// implementation in the repository — and the MMU computation is exact, not
+// sampled: minimum mutator utilization over a sliding window is a piecewise
+// function whose minima occur only when a window edge aligns with a pause
+// edge, so evaluating those alignments suffices.
+
+import (
+	"fmt"
+	"sort"
+
+	"repligc/internal/simtime"
+)
+
+// PauseSpan is one closed pause interval extracted from a trace.
+type PauseSpan struct {
+	Start, End simtime.Duration
+	Copied     int64 // bytes copied during the pause
+	LogEntries int64 // log entries processed during the pause
+	PauseKind  int64 // the simtime.PauseKind recorded at pause-end
+}
+
+// Length is the span's duration.
+func (s PauseSpan) Length() simtime.Duration { return s.End - s.Start }
+
+// MMUPoint is one point of an MMU curve.
+type MMUPoint struct {
+	Window      simtime.Duration
+	Utilization float64 // minimum mutator utilization over any such window
+}
+
+// Analysis is the digest of one trace.
+type Analysis struct {
+	Start, End simtime.Duration // first and last event timestamps
+	Pauses     []PauseSpan
+	PhaseTime  [NumPhases]simtime.Duration
+	PhaseCount [NumPhases]int
+	Copied     int64 // total bytes copied across pauses
+	LogEntries int64 // total log entries processed across pauses
+
+	cum []simtime.Duration // cum[i]: total pause time in Pauses[:i]
+}
+
+// Analyze validates events and digests them. The trace must be well-formed
+// (Validate); a trimmed Recorder.Events slice always is.
+func Analyze(events []Event) (*Analysis, error) {
+	if err := Validate(events); err != nil {
+		return nil, err
+	}
+	a := &Analysis{cum: []simtime.Duration{0}}
+	if len(events) == 0 {
+		return a, nil
+	}
+	a.Start = events[0].At
+	a.End = events[len(events)-1].At
+	var pauseStart, phaseStart simtime.Duration
+	for _, e := range events {
+		switch e.Kind {
+		case KindPauseBegin:
+			pauseStart = e.At
+		case KindPauseEnd:
+			a.Pauses = append(a.Pauses, PauseSpan{
+				Start: pauseStart, End: e.At,
+				Copied: e.A, LogEntries: e.B, PauseKind: e.C,
+			})
+			a.Copied += e.A
+			a.LogEntries += e.B
+		case KindPhaseBegin:
+			phaseStart = e.At
+		case KindPhaseEnd:
+			a.PhaseTime[e.Phase] += e.At - phaseStart
+			a.PhaseCount[e.Phase]++
+		}
+	}
+	a.cum = make([]simtime.Duration, len(a.Pauses)+1)
+	for i, p := range a.Pauses {
+		a.cum[i+1] = a.cum[i] + p.Length()
+	}
+	return a, nil
+}
+
+// Total is the simulated span the trace covers.
+func (a *Analysis) Total() simtime.Duration { return a.End - a.Start }
+
+// TotalPause is the summed length of all pauses.
+func (a *Analysis) TotalPause() simtime.Duration { return a.cum[len(a.Pauses)] }
+
+// Utilization is the whole-run mutator utilization: the fraction of
+// simulated time not spent in pauses.
+func (a *Analysis) Utilization() float64 {
+	if a.Total() <= 0 {
+		return 1
+	}
+	return 1 - float64(a.TotalPause())/float64(a.Total())
+}
+
+// PauseDurations returns every pause length in recording order.
+func (a *Analysis) PauseDurations() []simtime.Duration {
+	out := make([]simtime.Duration, len(a.Pauses))
+	for i, p := range a.Pauses {
+		out[i] = p.Length()
+	}
+	return out
+}
+
+// PauseQuantile is the p-th percentile pause (nearest rank, via
+// simtime.Percentile — the shared quantile implementation).
+func (a *Analysis) PauseQuantile(p float64) simtime.Duration {
+	return simtime.Percentile(a.PauseDurations(), p)
+}
+
+// busyBefore returns the total pause time in [a.Start, t).
+func (a *Analysis) busyBefore(t simtime.Duration) simtime.Duration {
+	i := sort.Search(len(a.Pauses), func(i int) bool { return a.Pauses[i].End > t })
+	b := a.cum[i]
+	if i < len(a.Pauses) && a.Pauses[i].Start < t {
+		b += t - a.Pauses[i].Start
+	}
+	return b
+}
+
+// windowUtil is the mutator utilization of the window [t, t+w].
+func (a *Analysis) windowUtil(t, w simtime.Duration) float64 {
+	busy := a.busyBefore(t+w) - a.busyBefore(t)
+	return 1 - float64(busy)/float64(w)
+}
+
+// MMU returns the minimum mutator utilization over every window of length w
+// inside the trace. Windows at least as long as the whole trace degenerate
+// to the overall utilization. The minimum of the sliding-window utilization
+// is attained where a window edge coincides with a pause edge, so the
+// computation is exact: it evaluates a window starting at every pause start
+// and ending at every pause end (clamped to the trace), plus the two
+// extremes.
+func (a *Analysis) MMU(w simtime.Duration) float64 {
+	total := a.Total()
+	if w <= 0 {
+		return 0
+	}
+	if w >= total {
+		return a.Utilization()
+	}
+	mmu := a.windowUtil(a.Start, w)
+	consider := func(t simtime.Duration) {
+		if t < a.Start {
+			t = a.Start
+		}
+		if t > a.End-w {
+			t = a.End - w
+		}
+		if u := a.windowUtil(t, w); u < mmu {
+			mmu = u
+		}
+	}
+	consider(a.End - w)
+	for _, p := range a.Pauses {
+		consider(p.Start)
+		consider(p.End - w)
+	}
+	if mmu < 0 {
+		mmu = 0 // windows shorter than one pause are fully consumed
+	}
+	return mmu
+}
+
+// MMUCurve evaluates MMU at each window, in order.
+func (a *Analysis) MMUCurve(windows []simtime.Duration) []MMUPoint {
+	out := make([]MMUPoint, len(windows))
+	for i, w := range windows {
+		out[i] = MMUPoint{Window: w, Utilization: a.MMU(w)}
+	}
+	return out
+}
+
+// StandardWindows is the default MMU window ladder: 1 ms to 10 s in a
+// 1-2-5 progression, truncated to windows shorter than the trace, with the
+// trace length itself as the final point.
+func (a *Analysis) StandardWindows() []simtime.Duration {
+	var out []simtime.Duration
+	for _, ms := range []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000} {
+		w := simtime.Duration(ms) * simtime.Millisecond
+		if w >= a.Total() {
+			break
+		}
+		out = append(out, w)
+	}
+	if t := a.Total(); t > 0 {
+		out = append(out, t)
+	}
+	return out
+}
+
+// CopyMBps is replication throughput: bytes copied per second of pause time.
+func (a *Analysis) CopyMBps() float64 {
+	if a.TotalPause() <= 0 {
+		return 0
+	}
+	return float64(a.Copied) / (1 << 20) / a.TotalPause().Seconds()
+}
+
+// LogEntriesPerMs is log-processing throughput: entries consumed per
+// millisecond of pause time.
+func (a *Analysis) LogEntriesPerMs() float64 {
+	if a.TotalPause() <= 0 {
+		return 0
+	}
+	return float64(a.LogEntries) / a.TotalPause().Milliseconds()
+}
+
+// Summary renders a one-screen plain-text digest: pause quantiles, MMU
+// ladder, per-phase attribution, and throughput. dropped is the recorder's
+// eviction count, surfaced so a truncated trace cannot masquerade as a
+// complete one.
+func Summary(label string, a *Analysis, dropped int64) string {
+	s := fmt.Sprintf("--- trace: %s ---\n", label)
+	s += fmt.Sprintf("span %v, %d pauses (total %v, utilization %.1f%%)\n",
+		a.Total(), len(a.Pauses), a.TotalPause(), 100*a.Utilization())
+	if dropped > 0 {
+		s += fmt.Sprintf("WARNING: ring dropped %d events; figures describe the retained suffix\n", dropped)
+	}
+	if len(a.Pauses) > 0 {
+		s += fmt.Sprintf("pause p50 %v  p90 %v  p95 %v  p99 %v  max %v\n",
+			a.PauseQuantile(50), a.PauseQuantile(90), a.PauseQuantile(95),
+			a.PauseQuantile(99), a.PauseQuantile(100))
+	}
+	s += "MMU:"
+	for _, pt := range a.MMUCurve(a.StandardWindows()) {
+		s += fmt.Sprintf("  %v %.1f%%", pt.Window, 100*pt.Utilization)
+	}
+	s += "\nphases:\n"
+	for p := Phase(0); p < NumPhases; p++ {
+		if a.PhaseCount[p] == 0 {
+			continue
+		}
+		pct := 0.0
+		if tp := a.TotalPause(); tp > 0 {
+			pct = 100 * float64(a.PhaseTime[p]) / float64(tp)
+		}
+		s += fmt.Sprintf("  %-10s %4d spans %10v (%5.1f%% of pause time)\n",
+			p, a.PhaseCount[p], a.PhaseTime[p], pct)
+	}
+	s += fmt.Sprintf("throughput: copy %.2f MB/s of pause, log %.1f entries/ms of pause\n",
+		a.CopyMBps(), a.LogEntriesPerMs())
+	return s
+}
