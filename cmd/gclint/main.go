@@ -2,20 +2,35 @@
 // analyzer that enforces the discipline the replication collector's
 // correctness rests on — the logging write barrier, the from-space
 // invariant's forwarding hygiene, simulated-clock-only timing, deterministic
-// iteration, and dispatch exhaustiveness. See DESIGN.md, "Machine-checked
-// invariants", for the rule ↔ paper-invariant catalogue.
+// iteration, and dispatch exhaustiveness — plus the interprocedural checks
+// built on per-function call-graph summaries: stale heap.Values held across
+// may-flip calls, barrier completeness on all dataflow paths, and
+// pause-only collector state. See DESIGN.md, "Machine-checked invariants",
+// for the rule ↔ paper-invariant catalogue.
 //
 // Usage:
 //
-//	gclint [-rules] [packages]
+//	gclint [-rules] [-summaries] [-json | -github] [-out file] [packages]
 //
 // Packages default to ./... relative to the module root. The exit status is
 // 0 when the tree is clean, 1 when violations are found, and 2 on usage or
-// load errors. Violations can be suppressed, one site at a time, with
+// load errors. Output modes:
+//
+//	-json       print findings as a JSON array on stdout
+//	-github     print findings as GitHub Actions ::error annotations
+//	-out file   additionally write the JSON findings document to file
+//	-summaries  dump the interprocedural per-function summaries and exit
+//
+// Violations can be suppressed, one site at a time, with
 //
 //	//gclint:allow rule[,rule] -- reason why this site is correct
 //
-// on the offending line or the line above; the reason is mandatory.
+// on the offending line or the line above; the reason is mandatory, and
+// unknown rule names and annotations that suppress nothing are themselves
+// findings. The interprocedural rules have dedicated annotations:
+// //gclint:handle <invariant> vouches for a heap.Value across a flip,
+// //gclint:pauseonly <invariant> marks pause-only fields, and
+// //gclint:pauseentry <reason> marks pause entry points.
 package main
 
 import (
@@ -28,14 +43,22 @@ import (
 
 func main() {
 	listRules := flag.Bool("rules", false, "list the rules and exit")
+	summaries := flag.Bool("summaries", false, "dump interprocedural function summaries and exit")
+	jsonMode := flag.Bool("json", false, "print findings as a JSON array on stdout")
+	githubMode := flag.Bool("github", false, "print findings as GitHub Actions ::error annotations")
+	outFile := flag.String("out", "", "also write the JSON findings document to this file")
 	flag.Parse()
 
 	rules := analysis.DefaultRules()
 	if *listRules {
 		for _, r := range rules {
-			fmt.Printf("%-12s %s\n", r.Name(), r.Doc())
+			fmt.Printf("%-16s %s\n", r.Name(), r.Doc())
 		}
 		return
+	}
+	if *jsonMode && *githubMode {
+		fmt.Fprintln(os.Stderr, "gclint: -json and -github are mutually exclusive")
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -54,9 +77,44 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *summaries {
+		idx := analysis.BuildIndex(pkgs)
+		for _, line := range idx.Summaries() {
+			fmt.Println(line)
+		}
+		return
+	}
+
 	diags := analysis.Run(pkgs, rules)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *outFile != "" {
+		doc, err := analysis.DiagnosticsJSON(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gclint: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*outFile, doc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "gclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	switch {
+	case *jsonMode:
+		doc, err := analysis.DiagnosticsJSON(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gclint: %v\n", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(doc)
+	case *githubMode:
+		for _, d := range diags {
+			fmt.Println(analysis.GitHubAnnotation(d))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "gclint: %d violation(s) in %d package(s)\n", len(diags), len(pkgs))

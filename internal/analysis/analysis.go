@@ -45,11 +45,13 @@ type Rule interface {
 	Appraise(pass *Pass)
 }
 
-// Pass carries one package through one rule.
+// Pass carries one package through one rule. Index is the interprocedural
+// summary graph built once per Run and shared by all rules.
 type Pass struct {
-	Pkg  *Package
-	rule Rule
-	out  *[]Diagnostic
+	Pkg   *Package
+	Index *Index
+	rule  Rule
+	out   *[]Diagnostic
 }
 
 // Reportf records a diagnostic at pos.
@@ -71,31 +73,55 @@ func DefaultRules() []Rule {
 		&ExhaustiveRule{},
 		&ForwardRule{},
 		&PanicPathRule{},
+		&StaleHandleRule{},
+		&BarrierCompleteRule{},
+		&PauseOnlyRule{},
 	}
 }
 
-// Run applies rules to pkgs, resolves //gclint:allow annotations, and
-// returns the surviving diagnostics sorted by position. Malformed
-// annotations are themselves reported (rule "annotation").
+// Run builds the shared interprocedural Index over pkgs (one load, one
+// type-check, one summary fixpoint for all rules), applies rules, resolves
+// //gclint:allow annotations, and returns the surviving diagnostics sorted
+// by position. Malformed annotations — missing reason, unknown rule names,
+// duplicates — and allows that suppress nothing are themselves reported
+// (rule "annotation").
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	idx := BuildIndex(pkgs)
 	var raw []Diagnostic
 	for _, pkg := range pkgs {
 		for _, r := range rules {
-			r.Appraise(&Pass{Pkg: pkg, rule: r, out: &raw})
+			r.Appraise(&Pass{Pkg: pkg, Index: idx, rule: r, out: &raw})
 		}
 	}
 
+	valid := map[string]bool{"annotation": true}
+	for _, r := range rules {
+		valid[r.Name()] = true
+	}
 	var out []Diagnostic
+	var sites []allowSite
 	for _, pkg := range pkgs {
-		allows, bad := collectAllows(pkg)
+		allows, list, bad := collectAllows(pkg, valid)
 		out = append(out, bad...)
 		pkg.allows = allows
+		sites = append(sites, list...)
 	}
+	used := make(map[allowKey]bool)
 	for _, d := range raw {
-		if allowed(pkgs, d) {
+		if key, ok := allowed(pkgs, d); ok {
+			used[key] = true
 			continue
 		}
 		out = append(out, d)
+	}
+	for _, s := range sites {
+		if !used[s.key] {
+			out = append(out, Diagnostic{
+				Pos:  s.pos,
+				Rule: "annotation",
+				Msg:  fmt.Sprintf("unused //gclint:allow for rule %q: no diagnostic on this line or the one below; drop the annotation (it would silently mask a future violation)", s.key.rule),
+			})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
@@ -120,21 +146,29 @@ type allowKey struct {
 	rule string
 }
 
+// allowSite is one parsed allow annotation entry, kept in source order so
+// unused annotations can be reported deterministically.
+type allowSite struct {
+	key allowKey
+	pos token.Position
+}
+
 // allowed reports whether d is suppressed by a //gclint:allow annotation on
-// its own line or on the line directly above.
-func allowed(pkgs []*Package, d Diagnostic) bool {
+// its own line or on the line directly above, returning the matching key so
+// the caller can track which annotations earn their keep.
+func allowed(pkgs []*Package, d Diagnostic) (allowKey, bool) {
 	for _, pkg := range pkgs {
 		if pkg.allows == nil {
 			continue
 		}
-		if pkg.allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Rule}] {
-			return true
+		if k := (allowKey{d.Pos.Filename, d.Pos.Line, d.Rule}); pkg.allows[k] {
+			return k, true
 		}
-		if pkg.allows[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}] {
-			return true
+		if k := (allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}); pkg.allows[k] {
+			return k, true
 		}
 	}
-	return false
+	return allowKey{}, false
 }
 
 const allowPrefix = "//gclint:allow"
@@ -145,9 +179,12 @@ const allowPrefix = "//gclint:allow"
 //	//gclint:allow rule[,rule...] -- reason
 //
 // and the reason is mandatory: an allowlisted violation must say why it is
-// acceptable. Malformed annotations are returned as diagnostics.
-func collectAllows(pkg *Package) (map[allowKey]bool, []Diagnostic) {
+// acceptable. Malformed annotations — missing reason, rule names not in the
+// active rule set (valid), the same rule allowed twice on one line — are
+// returned as diagnostics.
+func collectAllows(pkg *Package, valid map[string]bool) (map[allowKey]bool, []allowSite, []Diagnostic) {
 	allows := make(map[allowKey]bool)
+	var sites []allowSite
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -177,7 +214,25 @@ func collectAllows(pkg *Package) (map[allowKey]bool, []Diagnostic) {
 						continue
 					}
 					any = true
-					allows[allowKey{pos.Filename, pos.Line, n}] = true
+					if !valid[n] {
+						bad = append(bad, Diagnostic{
+							Pos:  pos,
+							Rule: "annotation",
+							Msg:  fmt.Sprintf("unknown rule %q in //gclint:allow (run gclint -rules for the rule set)", n),
+						})
+						continue
+					}
+					key := allowKey{pos.Filename, pos.Line, n}
+					if allows[key] {
+						bad = append(bad, Diagnostic{
+							Pos:  pos,
+							Rule: "annotation",
+							Msg:  fmt.Sprintf("duplicate //gclint:allow for rule %q on this line", n),
+						})
+						continue
+					}
+					allows[key] = true
+					sites = append(sites, allowSite{key: key, pos: pos})
 				}
 				if !any {
 					bad = append(bad, Diagnostic{
@@ -189,7 +244,7 @@ func collectAllows(pkg *Package) (map[allowKey]bool, []Diagnostic) {
 			}
 		}
 	}
-	return allows, bad
+	return allows, sites, bad
 }
 
 // --- shared type helpers -------------------------------------------------

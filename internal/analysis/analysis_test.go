@@ -35,6 +35,10 @@ var goldenCases = []struct {
 	{"fastpath", "repligc/internal/fixfastpath"},
 	{"clean", "repligc/internal/fixclean"},
 	{"badallow", "repligc/internal/fixbadallow"},
+	{"stalehandle", "repligc/internal/fixstale"},
+	{"barriercomp", "repligc/internal/fixbarriercomp"},
+	{"pauseonly", "repligc/internal/fixpauseonly"},
+	{"annot", "repligc/internal/fixannot"},
 }
 
 func TestGolden(t *testing.T) {

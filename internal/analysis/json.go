@@ -1,0 +1,55 @@
+package analysis
+
+// json.go renders diagnostics for machines: a JSON findings document for CI
+// artifacts and GitHub Actions workflow commands ("::error ...") that turn
+// each finding into an inline annotation on the pull request.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// JSONDiagnostic is the wire form of one finding.
+type JSONDiagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// DiagnosticsJSON marshals diags as an indented JSON array (never null: an
+// empty run yields []).
+func DiagnosticsJSON(diags []Diagnostic) ([]byte, error) {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			File: d.Pos.Filename,
+			Line: d.Pos.Line,
+			Col:  d.Pos.Column,
+			Rule: d.Rule,
+			Msg:  d.Msg,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// GitHubAnnotation renders d as a GitHub Actions workflow command, which the
+// Actions runner turns into an inline ::error annotation at the source line.
+func GitHubAnnotation(d Diagnostic) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=gclint %s::%s",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, escapeGitHubData(d.Msg))
+}
+
+// escapeGitHubData applies the workflow-command data escaping rules.
+func escapeGitHubData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}

@@ -1,0 +1,37 @@
+// Package fixbarriercomp exercises the barriercomplete rule: every store
+// into heap payload must reach the logging barrier on all paths, including
+// through helper functions — the interprocedural summary propagates the
+// unlogged-store fact up the call graph until it meets a log boundary.
+package fixbarriercomp
+
+import (
+	"repligc/internal/core"
+	"repligc/internal/heap"
+)
+
+// mutate stores into the heap payload directly: the base unlogged-store
+// fact, flagged at the Heap.Store call site (the syntactic barrier rule
+// fires here too).
+func mutate(h *heap.Heap, p heap.Value) {
+	h.Store(p, 0, heap.Nil)
+}
+
+// pokeMid inherits mutate's unlogged-store summary: flagged at the call.
+func pokeMid(h *heap.Heap, p heap.Value) { mutate(h, p) }
+
+// pokeDeep is two hops from the raw store; the via chain in the message
+// names the primitive the call eventually reaches.
+func pokeDeep(h *heap.Heap, p heap.Value) { pokeMid(h, p) }
+
+// setLogged routes the store through Mutator.Set, which appends to the
+// mutation log before writing: the summary stops at the barrier and
+// nothing is flagged, here or in its callers.
+func setLogged(m *core.Mutator, p heap.Value) { m.Set(p, 0, heap.Nil) }
+
+func wrapper(m *core.Mutator, p heap.Value) { setLogged(m, p) }
+
+// debugPoke is an annotated-allowed site: a raw store with a stated reason.
+func debugPoke(h *heap.Heap, p heap.Value) {
+	//gclint:allow barriercomplete,barrier -- fixture: checkpoint dump writes to a detached snapshot heap
+	h.Store(p, 0, heap.Nil)
+}

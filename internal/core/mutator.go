@@ -122,6 +122,7 @@ func (m *Mutator) Alloc(k heap.Kind, n int) (heap.Value, error) {
 			if m.GC != nil {
 				m.GC.AfterAlloc(m)
 			}
+			//gclint:handle the fresh object is not yet reachable from any root, so AfterAlloc implementations must not copy or flip (they schedule work for the next CollectForAlloc); p cannot move here
 			return p, nil
 		}
 		if m.GC == nil || attempt > 0 {

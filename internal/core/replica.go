@@ -173,24 +173,43 @@ type Replicating struct {
 	minorSkipIdx   int
 	pendingMut     []fixup // replica slots holding deferred mutable nursery refs (§2.5)
 
-	majorScan     uint64 // major cursor: header word of the next old-to object to scan
-	majorScanSlot int    // resume slot within the object at the major cursor
+	// The major-scan cursors and all per-cycle collection state below are
+	// pause-only: multi-mutator sharing will make unsynchronized writes to
+	// them data races, so gclint checks that every writer is dominated by
+	// a pause entry (rule "pauseonly").
+
+	//gclint:pauseonly the major cursor only advances while the mutator is stopped; a mid-scan mutation is routed through the log instead
+	majorScan uint64 // major cursor: header word of the next old-to object to scan
+	//gclint:pauseonly resume state of the paused major scan; only valid between increments of a stopped mutator
+	majorScanSlot int // resume slot within the object at the major cursor
 
 	// Minor collection state.
-	minorActive    bool
-	minorLogCursor int64   // next log entry for the minor collection
-	minorRootSeqs  []int64 // old-space pointer entries to re-point at the flip
-	minorPauses    int     // pauses spanned by the active minor collection
-	minorStartCopy int64   // BytesCopiedMinor at cycle start
-	lazyMinorSeqs  []int64 // deferred reapply queue under LazyLogProcessing
+
+	//gclint:pauseonly cycle activation happens inside the pause that starts the cycle; the barrier fast path reads it un-synchronized
+	minorActive bool
+	//gclint:pauseonly the log cursor moves only while the mutator is stopped, else the barrier could append entries behind it
+	minorLogCursor int64 // next log entry for the minor collection
+	//gclint:pauseonly flip-entry worklist; grown while processing the log under pause, consumed at the flip
+	minorRootSeqs []int64 // old-space pointer entries to re-point at the flip
+	//gclint:pauseonly per-cycle pause counter, bumped once per pause
+	minorPauses int // pauses spanned by the active minor collection
+	//gclint:pauseonly snapshot of BytesCopiedMinor at cycle start, taken under the starting pause
+	minorStartCopy int64 // BytesCopiedMinor at cycle start
+	//gclint:pauseonly deferred reapply queue; filled and drained by log processing, which only runs under pause
+	lazyMinorSeqs []int64 // deferred reapply queue under LazyLogProcessing
 
 	// Major collection state.
-	majorActive        bool
+
+	//gclint:pauseonly cycle activation happens inside the pause that starts the cycle; the barrier fast path reads it un-synchronized
+	majorActive bool
+	//gclint:pauseonly the log cursor moves only while the mutator is stopped, else the barrier could append entries behind it
 	majorLogCursor     int64
 	promotedSinceMajor int64
-	fixups             []fixup
-	fixupSeen          map[fixup]struct{} // dedup: a slot is queued once
-	forcedMajorFlip    bool               // replay wants a major flip at the next minor flip
+	//gclint:pauseonly major fixup worklist; grown by log processing and the scan, consumed at the major flip, all under pause
+	fixups []fixup
+	//gclint:pauseonly dedup set for fixups; same pause-only lifecycle as the worklist it guards
+	fixupSeen       map[fixup]struct{} // dedup: a slot is queued once
+	forcedMajorFlip bool               // replay wants a major flip at the next minor flip
 
 	replay    *policy.Cursor
 	finishing bool // inside FinishCycles: flips are not recorded
@@ -312,6 +331,8 @@ const taxQuantum = 4 << 10
 // the top of every allocation, before the object exists, which is a safe
 // point — a flip here redirects all roots and the caller holds no
 // unprotected heap values.
+//
+//gclint:pauseentry the allocation top is a safe point; cycle state only changes under the Clock.BeginPause micro-pause (or inside c.pause), never on the tax-accounting prefix
 func (c *Replicating) AllocTax(m *Mutator, bytes int64) error {
 	if c.cfg.InterleavedTaxPermille <= 0 {
 		return nil
@@ -403,6 +424,8 @@ func (c *Replicating) CollectEmergency(m *Mutator) error {
 // When force is set the pause ignores budgets and completes everything.
 // The pause is always charged and recorded — including when it ends in a
 // typed exhaustion error, so degraded runs report honest long pauses.
+//
+//gclint:pauseentry Clock.BeginPause stops the (single) mutator before any collector state changes; every collector entry point funnels through here
 func (c *Replicating) pause(m *Mutator, needWords int, force bool) error {
 	m.Clock.BeginPause()
 	at := m.Clock.Now()
