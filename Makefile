@@ -1,6 +1,6 @@
 # repligc — common tasks. Everything is stdlib-only and offline.
 
-.PHONY: all build lint test race bench bench-smoke trace microbench experiments quick-experiments examples clean
+.PHONY: all build lint test race bench bench-smoke crash-matrix trace microbench experiments quick-experiments examples clean
 
 all: build lint test
 
@@ -33,10 +33,18 @@ bench:
 	go run ./cmd/rtgc-bench validate BENCH_PR3.json
 
 # CI's bench smoke: a quick-scale report, validated for schema shape only
-# (never gated on the measured numbers).
+# (never gated on the measured numbers), plus the checkpoint-recovery smoke.
 bench-smoke:
 	go run ./cmd/rtgc-bench -quick -out /tmp/bench_smoke.json perf
 	go run ./cmd/rtgc-bench validate /tmp/bench_smoke.json
+	go run ./cmd/rtgc-bench recover
+
+# The deterministic crash-point matrix: seeded workloads × crash plans
+# (snapshot/WAL × truncate/torn-word/duplicate-record, newest-epoch and
+# all-epoch damage). Every cell must end in a fingerprint-verified recovery
+# or a typed corruption rejection; the report is the CI artifact.
+crash-matrix:
+	go run ./cmd/rtgc-bench -out crash_matrix.json crashmatrix
 
 # Emit a Perfetto-loadable Chrome trace per paper workload (full scale) and
 # shape-check each artifact with the same validator CI uses.

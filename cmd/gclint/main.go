@@ -41,6 +41,7 @@ import (
 	"repligc/internal/analysis"
 )
 
+//gclint:io writes the rule-documentation file requested with -doc
 func main() {
 	listRules := flag.Bool("rules", false, "list the rules and exit")
 	summaries := flag.Bool("summaries", false, "dump interprocedural function summaries and exit")

@@ -20,6 +20,7 @@ import (
 	"repligc/internal/stopcopy"
 )
 
+//gclint:io reads the MiniML source file named on the command line
 func main() {
 	stats := flag.Bool("stats", false, "report heap/collector statistics of the compilation")
 	flag.Parse()

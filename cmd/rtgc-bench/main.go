@@ -11,6 +11,8 @@
 //	rtgc-bench validate FILE
 //	rtgc-bench [-quick] [-out FILE] trace [workload]
 //	rtgc-bench tracecheck FILE
+//	rtgc-bench recover
+//	rtgc-bench [-out FILE] crashmatrix
 //
 // "perf" emits the write-barrier coalescing trajectory (BENCH_PR3.json):
 // per-workload baseline-vs-coalesced log and pause metrics in simulated
@@ -25,6 +27,14 @@
 // per workload (Perfetto-loadable; "-out x.json" yields x-primes.json
 // etc.). "tracecheck" validates a previously emitted Chrome trace's shape
 // (balanced B/E events, ordered timestamps) — the CI artifact check.
+//
+// "recover" is the checkpoint-recovery smoke: a seeded run with the
+// incremental checkpoint writer attached, recovered from its own artifacts
+// with the fingerprint, audit and degradation ladder verified.
+// "crashmatrix" runs the full deterministic crash-point matrix (workloads ×
+// crash plans, newest-epoch and all-epoch damage) and writes the
+// repligc-crash-matrix/1 report — the CI artifact proving every cell ends
+// in verified recovery or a typed corruption rejection.
 package main
 
 import (
@@ -44,6 +54,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "       rtgc-bench validate FILE\n")
 		fmt.Fprintf(os.Stderr, "       rtgc-bench [-quick] [-out FILE] trace [Primes|Sort|Comp]\n")
 		fmt.Fprintf(os.Stderr, "       rtgc-bench tracecheck FILE\n")
+		fmt.Fprintf(os.Stderr, "       rtgc-bench recover\n")
+		fmt.Fprintf(os.Stderr, "       rtgc-bench [-out FILE] crashmatrix\n")
 		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 ablations all\n")
 		flag.PrintDefaults()
 	}
@@ -141,6 +153,10 @@ func main() {
 			fmt.Print(bench.FormatLogPolicy(logpol))
 		case "perf":
 			return runPerf(scale, scaleName, *out)
+		case "recover":
+			return runRecoverSmoke()
+		case "crashmatrix":
+			return runCrashMatrix(*out)
 		case "validate":
 			return runValidate(flag.Arg(1))
 		case "trace":

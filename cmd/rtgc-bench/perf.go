@@ -103,6 +103,8 @@ func measureBarrier() bench.BarrierNsOp {
 }
 
 // runPerf builds the full report and writes it to outPath ("" = stdout).
+//
+//gclint:io writes the benchmark report JSON to the requested path
 func runPerf(s bench.Scale, scaleName, outPath string) error {
 	rep, err := bench.RunPerf(s, scaleName)
 	if err != nil {
@@ -130,6 +132,9 @@ func runPerf(s bench.Scale, scaleName, outPath string) error {
 }
 
 // runValidate checks an existing report file.
+// runValidate checks an existing report file.
+//
+//gclint:io reads the benchmark report JSON under validation
 func runValidate(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -25,6 +25,8 @@ func tracePath(out, workload string) string {
 // runTrace traces one workload (or, with workload == "", all three) under
 // CfgRT in the paper's 50 ms parameter cell, printing the digest and — when
 // out is non-empty — writing a Chrome trace per workload.
+//
+//gclint:io writes the Chrome trace artifact per workload
 func runTrace(s bench.Scale, workload, out string) error {
 	workloads := []bench.Workload{bench.Primes(s), bench.Sort(s), bench.Comp(s)}
 	if workload != "" {
@@ -78,6 +80,8 @@ func runTrace(s bench.Scale, workload, out string) error {
 }
 
 // runTraceCheck validates a previously emitted Chrome trace file's shape.
+//
+//gclint:io reads the Chrome trace file under validation
 func runTraceCheck(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -76,6 +76,7 @@ func DefaultRules() []Rule {
 		&StaleHandleRule{},
 		&BarrierCompleteRule{},
 		&PauseOnlyRule{},
+		&IORule{},
 	}
 }
 
@@ -254,12 +255,15 @@ func collectAllows(pkg *Package, valid map[string]bool) (map[allowKey]bool, []al
 const heapPkgPath = "repligc/internal/heap"
 
 // collectorPkgs are the packages allowed to touch raw heap words and
-// forwarding pointers: the heap itself and the two collector
-// implementations. Everything else must go through the Mutator interface.
+// forwarding pointers: the heap itself, the two collector implementations,
+// and the checkpoint writer (which snapshots and restores raw words at
+// pause boundaries, on the collector's side of the barrier). Everything
+// else must go through the Mutator interface.
 var collectorPkgs = map[string]bool{
-	heapPkgPath:                 true,
-	"repligc/internal/core":     true,
-	"repligc/internal/stopcopy": true,
+	heapPkgPath:                   true,
+	"repligc/internal/core":       true,
+	"repligc/internal/stopcopy":   true,
+	"repligc/internal/checkpoint": true,
 }
 
 // isNamed reports whether t (after pointer indirection) is the named type

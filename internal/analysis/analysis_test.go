@@ -39,6 +39,11 @@ var goldenCases = []struct {
 	{"barriercomp", "repligc/internal/fixbarriercomp"},
 	{"pauseonly", "repligc/internal/fixpauseonly"},
 	{"annot", "repligc/internal/fixannot"},
+	// Masquerades as a simulation package: filesystem access is banned
+	// outright, annotation or not.
+	{"iorule", "repligc/internal/fixio"},
+	// Masquerades as a cmd/ package: I/O is legal behind //gclint:io.
+	{"iocmd", "repligc/cmd/fixiocmd"},
 }
 
 func TestGolden(t *testing.T) {

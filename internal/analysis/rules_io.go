@@ -1,0 +1,150 @@
+package analysis
+
+// The io rule: file-system side effects are confined to the two layers whose
+// job they are — cmd/ (artifact export, source loading) and
+// internal/checkpoint (crash-consistent snapshots) — and even there each
+// function that touches the filesystem must carry a //gclint:io annotation
+// stating why. The simulated runtime is a closed system: collector
+// correctness arguments, bit-for-bit replay and the crash-recovery
+// fingerprint all assume state lives only in the arena, the mutation log and
+// the simulated clock. An os.WriteFile smuggled into a simulation package is
+// hidden state the recovery protocol can neither snapshot nor replay.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IORule flags os file primitives outside the annotated I/O boundary.
+type IORule struct{}
+
+// Name implements Rule.
+func (*IORule) Name() string { return "io" }
+
+// Doc implements Rule.
+func (*IORule) Doc() string {
+	return "os file primitives are confined to cmd/ and internal/checkpoint, inside //gclint:io-annotated functions"
+}
+
+// ioFuncs are the package-os functions that create, read, write or remove
+// filesystem state.
+var ioFuncs = map[string]bool{
+	"Open":       true,
+	"OpenFile":   true,
+	"Create":     true,
+	"CreateTemp": true,
+	"ReadFile":   true,
+	"WriteFile":  true,
+	"ReadDir":    true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+	"MkdirTemp":  true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"Rename":     true,
+	"Truncate":   true,
+	"Stat":       true,
+	"Lstat":      true,
+	"Chmod":      true,
+	"Chtimes":    true,
+	"Link":       true,
+	"Symlink":    true,
+}
+
+const ioPrefix = "//gclint:io"
+
+// Appraise implements Rule.
+func (r *IORule) Appraise(pass *Pass) {
+	p := pass.Pkg.Path
+	// Hard carve-out: the analyzer itself loads source trees from disk;
+	// policing it with its own rule would only breed annotation noise.
+	if p == "repligc/internal/analysis" {
+		return
+	}
+	if p != "repligc" &&
+		!strings.HasPrefix(p, "repligc/internal/") &&
+		!strings.HasPrefix(p, "repligc/cmd/") {
+		return
+	}
+	allowedPkg := p == checkpointPkgPath || strings.HasPrefix(p, "repligc/cmd/")
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				// File-scope initialisers have no place to hang a reason, so
+				// any I/O there is flagged unconditionally.
+				r.checkSites(pass, decl, false, "")
+				continue
+			}
+			reason, annotated := ioAnnotation(fd)
+			if annotated && reason == "" {
+				pass.Reportf(fd.Pos(),
+					"//gclint:io needs a reason: state what artifact this function owns on disk")
+				annotated = false
+			}
+			if annotated && !allowedPkg {
+				pass.Reportf(fd.Pos(),
+					"//gclint:io on %s: package %s may not touch the filesystem at all; file I/O belongs to cmd/ and internal/checkpoint only",
+					fd.Name.Name, p)
+				annotated = false
+			}
+			sites := r.checkSites(pass, fd, annotated && allowedPkg, fd.Name.Name)
+			if annotated && allowedPkg && sites == 0 {
+				pass.Reportf(fd.Pos(),
+					"unused //gclint:io on %s: the function performs no file I/O; drop the annotation (it would silently license a future side effect)",
+					fd.Name.Name)
+			}
+		}
+	}
+}
+
+// checkSites walks n for file I/O, reporting each os file-primitive call
+// unless licensed, and returns the number of I/O sites found. Method calls
+// on an already-open *os.File (Write, Close, Sync, ...) count as sites for
+// the unused-annotation check but are not themselves reported — the handle
+// had to come from a flagged primitive somewhere.
+func (r *IORule) checkSites(pass *Pass, n ast.Node, licensed bool, fn string) int {
+	sites := 0
+	ast.Inspect(n, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && ioFuncs[sel.Sel.Name] {
+			if pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "os" {
+				sites++
+				if licensed {
+					return true
+				}
+				where := "at file scope"
+				if fn != "" {
+					where = "in " + fn
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"os.%s %s: file I/O is confined to cmd/ and internal/checkpoint, and the enclosing function must carry //gclint:io <reason> naming the on-disk artifact it owns",
+					sel.Sel.Name, where)
+				return true
+			}
+		}
+		if tv, ok := pass.Pkg.Info.Types[sel.X]; ok && isNamed(tv.Type, "os", "File") {
+			sites++
+		}
+		return true
+	})
+	return sites
+}
+
+// ioAnnotation reports the //gclint:io reason on fd's doc comment and
+// whether the annotation is present at all.
+func ioAnnotation(fd *ast.FuncDecl) (string, bool) {
+	if fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		if reason, ok := annotationText(c, ioPrefix); ok {
+			return reason, true
+		}
+	}
+	return "", false
+}

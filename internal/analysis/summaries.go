@@ -38,8 +38,9 @@ import (
 )
 
 const (
-	corePkgPath     = "repligc/internal/core"
-	stopcopyPkgPath = "repligc/internal/stopcopy"
+	corePkgPath       = "repligc/internal/core"
+	stopcopyPkgPath   = "repligc/internal/stopcopy"
+	checkpointPkgPath = "repligc/internal/checkpoint"
 )
 
 // FuncFacts is the computed interprocedural summary of one function.
@@ -348,12 +349,15 @@ func (idx *Index) scanFunc(fi *FuncInfo) {
 // either it logs its stores, or it is part of the exported API of the
 // collector packages (whose raw stores are replica writes, correct by
 // construction and unreachable from mutator code except through this API).
+// The checkpoint package counts too: its raw stores rebuild a recovered
+// heap before any mutator runs, so no log entry could ever be owed.
 func (fi *FuncInfo) storeBoundary() bool {
 	if fi.Facts.LogBoundary {
 		return true
 	}
 	path := fi.Pkg.Path
-	return (path == corePkgPath || path == stopcopyPkgPath) && ast.IsExported(fi.Obj.Name())
+	return (path == corePkgPath || path == stopcopyPkgPath || path == checkpointPkgPath) &&
+		ast.IsExported(fi.Obj.Name())
 }
 
 // arenaWriteTarget reports whether lhs assigns an element (or slice) of a

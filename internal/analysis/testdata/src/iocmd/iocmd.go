@@ -1,0 +1,27 @@
+// Package fixiocmd exercises the io rule inside cmd/: file I/O is legal
+// behind a //gclint:io annotation naming the artifact, and flagged without
+// one.
+package fixiocmd
+
+import "os"
+
+// writeReport persists the report artifact.
+//
+//gclint:io owns the report JSON written to the path the user named
+func writeReport(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func sneaky(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// forgotten carries the annotation but performs no I/O.
+//
+//gclint:io held over from an earlier revision
+func forgotten() int { return 42 }
+
+//gclint:io
+func noReason(path string) error {
+	return os.Remove(path)
+}

@@ -1,0 +1,18 @@
+// Package fixio exercises the io rule outside the permitted packages: a
+// simulation package may never touch the filesystem, and no annotation can
+// license it.
+package fixio
+
+import "os"
+
+func spill() error {
+	return os.WriteFile("state.bin", nil, 0o644)
+}
+
+// persist is annotated, but the annotation itself is the violation here:
+// this package is not on the I/O boundary at all.
+//
+//gclint:io wants to persist the routing table between runs
+func persist() error {
+	return os.WriteFile("table.bin", nil, 0o644)
+}

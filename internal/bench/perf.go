@@ -17,13 +17,17 @@ import (
 	"fmt"
 	"math"
 
+	"repligc/internal/checkpoint"
+	"repligc/internal/simtime"
 	"repligc/internal/trace"
 )
 
 // PerfSchema identifies the report layout; bump on incompatible change.
 // repligc-bench/2 added per-leg MMU curves and per-phase pause attribution
-// (from the internal/trace subsystem).
-const PerfSchema = "repligc-bench/2"
+// (from the internal/trace subsystem). repligc-bench/3 added the
+// checkpointed leg: the coalesced collector with the incremental checkpoint
+// writer attached, measuring crash-consistency overhead.
+const PerfSchema = "repligc-bench/3"
 
 // PerfReport is the document serialised to BENCH_PR3.json.
 type PerfReport struct {
@@ -49,17 +53,36 @@ type BarrierNsOp struct {
 	ZeroAllocs   bool    `json:"zero_allocs"`   // fast paths allocate nothing
 }
 
-// PerfWorkload compares the two barrier legs on one workload.
+// PerfWorkload compares the barrier legs on one workload.
 type PerfWorkload struct {
-	Name      string  `json:"name"`
-	Baseline  PerfLeg `json:"baseline"`  // NaiveBarrier: true
-	Coalesced PerfLeg `json:"coalesced"` // the PR's barrier
+	Name         string  `json:"name"`
+	Baseline     PerfLeg `json:"baseline"`     // NaiveBarrier: true
+	Coalesced    PerfLeg `json:"coalesced"`    // the coalescing barrier
+	Checkpointed PerfLeg `json:"checkpointed"` // coalesced + incremental checkpoint writer
 
 	// ReapplyReductionPct is the headline number: the percentage of the
 	// baseline's re-applied log entries that coalescing eliminated.
 	ReapplyReductionPct float64 `json:"reapply_reduction_pct"`
 	// AppendReductionPct is the same for barrier-side log appends.
 	AppendReductionPct float64 `json:"append_reduction_pct"`
+
+	// Checkpoint describes what the checkpointed leg persisted and what the
+	// crash consistency cost relative to the coalesced leg.
+	Checkpoint PerfCheckpoint `json:"checkpoint"`
+}
+
+// PerfCheckpoint is the checkpointed leg's persistence section.
+type PerfCheckpoint struct {
+	Epochs        int     `json:"epochs"`         // committed epochs (≥ 1: the final forced commit)
+	Aborted       int     `json:"aborted"`        // epochs invalidated by a major flip
+	SnapshotBytes int64   `json:"snapshot_bytes"` // total snapshot artifact bytes
+	WALBytes      int64   `json:"wal_bytes"`      // total WAL artifact bytes
+	WordsCopied   int64   `json:"words_copied"`   // heap words copied into segments
+	PatchWords    int64   `json:"patch_words"`    // WAL patch pairs (slots mutated mid-snapshot)
+	CheckpointMs  float64 `json:"checkpoint_ms"`  // simulated time charged to AcctCheckpoint
+	// OverheadPct is the headline intrusion number: the checkpointed leg's
+	// simulated elapsed time over the coalesced leg's, as a percentage.
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
 // PerfLeg is one run's measurements.
@@ -187,12 +210,52 @@ func RunPerf(s Scale, scaleName string) (*PerfReport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("perf %s coalesced trace: %w", w.Name(), err)
 		}
+
+		// Checkpointed leg: the coalesced collector with the incremental
+		// checkpoint writer attached, its artifacts in a throwaway dir the
+		// checkpoint package owns.
+		ckptDir, cleanup, err := checkpoint.TempDir("rtgc-bench-ckpt-")
+		if err != nil {
+			return nil, fmt.Errorf("perf %s checkpointed: %w", w.Name(), err)
+		}
+		// One epoch per 4 MB allocated, 64 KB of copying per pause: the
+		// steady-state cadence, not back-to-back snapshots.
+		ckptW := checkpoint.NewWriter(checkpoint.Config{Dir: ckptDir, BudgetBytes: 64 << 10, EveryBytes: 4 << 20})
+		ckptTr := trace.NewRecorder(1 << 20)
+		ckpt, err := Run(w, RunConfig{Config: CfgRT, Params: perfParams(), Trace: ckptTr, Checkpoint: ckptW})
+		cleanup()
+		if err != nil {
+			return nil, fmt.Errorf("perf %s checkpointed: %w", w.Name(), err)
+		}
+		if ckpt.Output != coal.Output {
+			return nil, fmt.Errorf("perf %s: checkpointed leg computed a different result", w.Name())
+		}
+		ckptA, err := trace.Analyze(ckptTr.Events())
+		if err != nil {
+			return nil, fmt.Errorf("perf %s checkpointed trace: %w", w.Name(), err)
+		}
+		st := ckptW.Stats()
+		section := PerfCheckpoint{
+			Epochs:        st.Committed,
+			Aborted:       st.Aborted,
+			SnapshotBytes: st.SnapshotBytes,
+			WALBytes:      st.WALBytes,
+			WordsCopied:   st.WordsCopied,
+			PatchWords:    st.PatchWords,
+			CheckpointMs:  ckpt.Breakdown[simtime.AcctCheckpoint].Milliseconds(),
+		}
+		if coalMs := coal.Elapsed.Milliseconds(); coalMs > 0 {
+			section.OverheadPct = 100 * (ckpt.Elapsed.Milliseconds() - coalMs) / coalMs
+		}
+
 		rep.Workloads = append(rep.Workloads, PerfWorkload{
 			Name:                w.Name(),
 			Baseline:            perfLeg(base, baseA),
 			Coalesced:           perfLeg(coal, coalA),
+			Checkpointed:        perfLeg(ckpt, ckptA),
 			ReapplyReductionPct: reductionPct(base.Stats.LogReapplied, coal.Stats.LogReapplied),
 			AppendReductionPct:  reductionPct(base.LogWrites, coal.LogWrites),
+			Checkpoint:          section,
 		})
 	}
 	return rep, nil
@@ -227,13 +290,27 @@ func ValidatePerf(data []byte) error {
 		for _, leg := range []struct {
 			tag string
 			l   PerfLeg
-		}{{"baseline", w.Baseline}, {"coalesced", w.Coalesced}} {
+		}{{"baseline", w.Baseline}, {"coalesced", w.Coalesced}, {"checkpointed", w.Checkpointed}} {
 			if err := leg.l.check(); err != nil {
 				return fmt.Errorf("perf report: %s %s: %w", w.Name, leg.tag, err)
 			}
 		}
 		if w.Baseline.NurserySkips != 0 || w.Baseline.DirtySkips != 0 {
 			return fmt.Errorf("perf report: %s baseline leg reports fast-path skips", w.Name)
+		}
+		c := w.Checkpoint
+		if c.Epochs < 1 {
+			return fmt.Errorf("perf report: %s checkpointed leg committed no epochs", w.Name)
+		}
+		if c.SnapshotBytes <= 0 || c.WALBytes <= 0 || c.WordsCopied <= 0 {
+			return fmt.Errorf("perf report: %s checkpoint section persisted nothing (snap %d, wal %d, words %d)",
+				w.Name, c.SnapshotBytes, c.WALBytes, c.WordsCopied)
+		}
+		if math.IsNaN(c.CheckpointMs) || c.CheckpointMs < 0 {
+			return fmt.Errorf("perf report: %s checkpoint_ms = %v is not plausible", w.Name, c.CheckpointMs)
+		}
+		if math.IsNaN(c.OverheadPct) || math.IsInf(c.OverheadPct, 0) {
+			return fmt.Errorf("perf report: %s checkpoint overhead_pct = %v is not finite", w.Name, c.OverheadPct)
 		}
 	}
 	for _, name := range names {

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"repligc/internal/checkpoint"
 	"repligc/internal/core"
 	"repligc/internal/heap"
 	"repligc/internal/policy"
@@ -88,6 +89,12 @@ type RunConfig struct {
 	// nothing to the simulated clock, so a traced run's measurements are
 	// bit-identical to an untraced one.
 	Trace *trace.Recorder
+	// Checkpoint, when non-nil, attaches the incremental checkpoint writer
+	// to the run (replicating configurations only). Unlike tracing, the
+	// snapshot copying is charged to the simulated clock
+	// (simtime.AcctCheckpoint), so the checkpointed leg measures the
+	// intrusion honestly. Run force-commits a final epoch at the end.
+	Checkpoint *checkpoint.Writer
 }
 
 // Result is everything measured in one run.
@@ -187,6 +194,13 @@ func NewRuntime(rc RunConfig) (*Runtime, error) {
 	if rc.Trace != nil {
 		AttachTrace(&Runtime{Heap: h, Mutator: m, GC: gc}, rc.Trace)
 	}
+	if rc.Checkpoint != nil {
+		rep, ok := gc.(*core.Replicating)
+		if !ok {
+			return nil, fmt.Errorf("bench: configuration %q cannot checkpoint (replicating collectors only)", rc.Config)
+		}
+		rep.SetCheckpointer(rc.Checkpoint)
+	}
 	return &Runtime{Heap: h, Mutator: m, GC: gc}, nil
 }
 
@@ -218,6 +232,11 @@ func Run(w Workload, rc RunConfig) (*Result, error) {
 	}
 	if err := gc.FinishCycles(m); err != nil {
 		return nil, err
+	}
+	if rc.Checkpoint != nil {
+		if err := rc.Checkpoint.ForceCommit(m, gc.(*core.Replicating)); err != nil {
+			return nil, fmt.Errorf("bench: final checkpoint commit: %w", err)
+		}
 	}
 
 	res := &Result{

@@ -1,0 +1,157 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repligc/internal/faultinject"
+)
+
+// ApplyCrash damages the newest epoch's artifact in dir according to plan.
+// It is the bridge between faultinject's pure-data crash plans and the
+// filesystem: truncation simulates a kill at byte k of a write, a torn word
+// simulates a damaged sector, a duplicated record simulates a replayed
+// buffer flush. It reports the damaged path.
+func ApplyCrash(dir string, plan faultinject.CrashPlan) (string, error) {
+	epochs, err := Epochs(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(epochs) == 0 {
+		return "", fmt.Errorf("checkpoint: no epochs in %s to crash", dir)
+	}
+	return applyCrashEpoch(dir, epochs[len(epochs)-1], plan)
+}
+
+// ApplyCrashAll damages the targeted artifact of every retained epoch —
+// the no-fallback scenario, where recovery has nothing intact left and must
+// fail with a typed *CorruptError rather than hand back a damaged heap.
+func ApplyCrashAll(dir string, plan faultinject.CrashPlan) error {
+	epochs, err := Epochs(dir)
+	if err != nil {
+		return err
+	}
+	if len(epochs) == 0 {
+		return fmt.Errorf("checkpoint: no epochs in %s to crash", dir)
+	}
+	for _, epoch := range epochs {
+		if _, err := applyCrashEpoch(dir, epoch, plan); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyCrashEpoch damages one epoch's targeted artifact.
+//
+//gclint:io rewrites one checkpoint artifact in place to simulate crash damage
+func applyCrashEpoch(dir string, epoch uint64, plan faultinject.CrashPlan) (string, error) {
+	name := fmt.Sprintf("snap-%08d.ckpt", epoch)
+	if plan.Target == faultinject.CrashWAL {
+		name = fmt.Sprintf("wal-%08d.ckpt", epoch)
+	}
+	path := filepath.Join(dir, name)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return path, err
+	}
+	if len(data) == 0 {
+		return path, fmt.Errorf("checkpoint: empty artifact %s", path)
+	}
+	at := int(plan.Fraction * float64(len(data)))
+	if at >= len(data) {
+		at = len(data) - 1
+	}
+
+	switch plan.Kind {
+	case faultinject.CrashTruncate:
+		data = data[:at]
+	case faultinject.CrashTornWord:
+		word := at &^ 7
+		if word+8 > len(data) {
+			word = (len(data) - 8) &^ 7
+		}
+		if word < 0 {
+			word = 0
+		}
+		end := word + 8
+		if end > len(data) {
+			end = len(data)
+		}
+		var buf [8]byte
+		copy(buf[:], data[word:end])
+		v := binary.LittleEndian.Uint64(buf[:]) ^ plan.Mask
+		binary.LittleEndian.PutUint64(buf[:], v)
+		copy(data[word:end], buf[:end-word])
+	case faultinject.CrashDuplicateRecord:
+		// Re-append the framed record that spans the damage site (falling
+		// back to a raw byte range when no frame parses there), yielding a
+		// file whose checksums are all intact but whose record ordinals
+		// repeat.
+		lo, hi := recordSpanAt(data, at)
+		dup := append([]byte(nil), data[lo:hi]...)
+		data = append(data, dup...)
+	default:
+		return path, fmt.Errorf("checkpoint: unknown crash kind %v", plan.Kind)
+	}
+	return path, os.WriteFile(path, data, 0o666)
+}
+
+// recordSpanAt walks the record framing from the top of the file and
+// returns the [lo, hi) byte range of the record covering offset at. When
+// framing does not parse (already-damaged input), it returns a fixed-width
+// window around at.
+func recordSpanAt(data []byte, at int) (int, int) {
+	off := 8 // past the magic
+	for off+13 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off+5 : off+9]))
+		end := off + 9 + n + 4
+		if n < 0 || n > 1<<30 || end > len(data) {
+			break
+		}
+		if at < end {
+			return off, end
+		}
+		off = end
+	}
+	lo := at - 32
+	if lo < 0 {
+		lo = 0
+	}
+	hi := at + 32
+	if hi > len(data) {
+		hi = len(data)
+	}
+	return lo, hi
+}
+
+// CloneDir copies every checkpoint artifact from src into dst (created if
+// needed), so a crash can be applied to a copy while the pristine reference
+// artifacts survive for comparison.
+//
+//gclint:io duplicates the artifact directory for destructive crash testing
+func CloneDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o777); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, ent.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, ent.Name()), data, 0o666); err != nil {
+			return err
+		}
+	}
+	return nil
+}

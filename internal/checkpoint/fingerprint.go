@@ -1,0 +1,143 @@
+package checkpoint
+
+import (
+	"repligc/internal/core"
+	"repligc/internal/heap"
+)
+
+// state is the canonical tuple a checkpoint preserves. The writer fills one
+// from the live run at commit time and fingerprints it; recovery rebuilds
+// one from the artifacts and fingerprints it again. Equality of the two
+// fingerprints is the "bit-identical to the uncrashed run" guarantee: both
+// sides hash the same logical fields in the same order, so any divergence —
+// a missed patch, a stale segment, a mis-restored cursor — changes the hash.
+type state struct {
+	cfg      heap.Config
+	fromOldB bool // old from-space is oldB (a major has flipped an odd number of times)
+
+	// Space geometry: soft limit and allocation cursor for the nursery and
+	// both old semispaces, in canonical (from, to) order.
+	nurseryHi, nurseryNext uint64
+	fromHi, fromNext       uint64
+	toHi, toNext           uint64
+
+	fromWords    []heap.Value // old from-space payload [Lo, Next)
+	nurseryWords []heap.Value // nursery payload [Lo, Next)
+	roots        []heap.Value // root slot values in visit order
+
+	logBase    int64
+	logEntries []core.LogEntry
+
+	bytesAllocated     int64
+	logWrites          int64
+	minorLogCursor     int64
+	promotedSinceMajor int64
+	promoHighWater     int64
+}
+
+// captureState snapshots the canonical tuple from a live, quiescent run.
+func captureState(m *core.Mutator, p core.CheckpointPoint) *state {
+	h := m.H
+	from, to := h.OldFrom(), h.OldTo()
+	s := &state{
+		cfg:                heapConfigOf(h),
+		fromOldB:           from.Name == "oldB",
+		nurseryHi:          h.Nursery.Hi,
+		nurseryNext:        h.Nursery.Next,
+		fromHi:             from.Hi,
+		fromNext:           from.Next,
+		toHi:               to.Hi,
+		toNext:             to.Next,
+		fromWords:          append([]heap.Value(nil), h.Arena[from.Lo:from.Next]...),
+		nurseryWords:       append([]heap.Value(nil), h.Arena[h.Nursery.Lo:h.Nursery.Next]...),
+		logBase:            p.MinorLogCursor,
+		bytesAllocated:     m.BytesAllocated,
+		logWrites:          m.LogWrites,
+		minorLogCursor:     p.MinorLogCursor,
+		promotedSinceMajor: p.PromotedSinceMajor,
+		promoHighWater:     p.PromoHighWater,
+	}
+	m.Roots.Visit(func(slot *heap.Value) { s.roots = append(s.roots, *slot) })
+	for seq := p.MinorLogCursor; seq < m.Log.Len(); seq++ {
+		s.logEntries = append(s.logEntries, m.Log.At(seq))
+	}
+	return s
+}
+
+// heapConfigOf reconstructs the heap.Config a heap was built with, from its
+// space geometry (Lo/Cap are construction-time constants).
+func heapConfigOf(h *heap.Heap) heap.Config {
+	nCap := int64(h.Nursery.Cap-h.Nursery.Lo) * heap.BytesPerWord
+	from, to := h.OldFrom(), h.OldTo()
+	oldSemi := int64(from.Cap-from.Lo) * heap.BytesPerWord
+	if alt := int64(to.Cap-to.Lo) * heap.BytesPerWord; alt > oldSemi {
+		oldSemi = alt
+	}
+	return heap.Config{
+		// NurseryBytes is the *initial* soft limit; it only matters as a
+		// floor for heap.New, which the restore overrides with the
+		// recorded Hi anyway. Use the capacity so New never rejects it.
+		NurseryBytes:    nCap,
+		NurseryCapBytes: nCap,
+		OldSemiBytes:    oldSemi,
+	}
+}
+
+// fingerprint hashes the canonical tuple with FNV-1a 64.
+func (s *state) fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	fp := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			fp ^= v & 0xff
+			fp *= prime64
+			v >>= 8
+		}
+	}
+	mixBool := func(b bool) {
+		if b {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	mix(uint64(s.cfg.NurseryBytes))
+	mix(uint64(s.cfg.NurseryCapBytes))
+	mix(uint64(s.cfg.OldSemiBytes))
+	mixBool(s.fromOldB)
+	mix(s.nurseryHi)
+	mix(s.nurseryNext)
+	mix(s.fromHi)
+	mix(s.fromNext)
+	mix(s.toHi)
+	mix(s.toNext)
+	mix(uint64(len(s.fromWords)))
+	for _, w := range s.fromWords {
+		mix(uint64(w))
+	}
+	mix(uint64(len(s.nurseryWords)))
+	for _, w := range s.nurseryWords {
+		mix(uint64(w))
+	}
+	mix(uint64(len(s.roots)))
+	for _, r := range s.roots {
+		mix(uint64(r))
+	}
+	mix(uint64(s.logBase))
+	mix(uint64(len(s.logEntries)))
+	for _, e := range s.logEntries {
+		mix(uint64(e.Obj))
+		mix(uint64(uint32(e.Slot)))
+		mix(uint64(uint32(e.Len)))
+		mixBool(e.Byte)
+	}
+	mix(uint64(s.bytesAllocated))
+	mix(uint64(s.logWrites))
+	mix(uint64(s.minorLogCursor))
+	mix(uint64(s.promotedSinceMajor))
+	mix(uint64(s.promoHighWater))
+	return fp
+}

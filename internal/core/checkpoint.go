@@ -1,0 +1,79 @@
+package core
+
+// The collector side of crash-consistent checkpointing (internal/checkpoint
+// owns the snapshot format and file I/O; this file owns the pause-boundary
+// contract). The replicating collector drives the snapshot writer with one
+// call per pause, inside the pause window, so every byte of checkpoint work
+// is charged to the stopped mutator and shows up in pause times and MMU
+// curves exactly like collection work does.
+
+// CheckpointPoint describes the collector's state at the pause boundary
+// handed to a Checkpointer. The writer uses it to decide whether an epoch
+// may begin or commit (both require quiescence) and whether an open epoch
+// must abort (a major flip swaps the old semispaces, invalidating every
+// segment copied so far).
+type CheckpointPoint struct {
+	// Quiescent reports that no minor or major collection is in flight:
+	// the mutation log's retained suffix is exactly the next cycle's
+	// remembered set, and no object carries a forwarding pointer.
+	Quiescent bool
+	// MajorActive reports an in-flight major collection. Promotions are
+	// landing in old-to, which the snapshot does not cover, so an open
+	// epoch is already doomed to abort at the coming flip.
+	MajorActive bool
+	// MajorCollections is the completed-major counter; a change since the
+	// epoch began means the semispaces swapped underneath the snapshot.
+	MajorCollections int
+	// MinorLogCursor is the collector's pending log position: entries at
+	// and above it are the remembered set a restored run must re-consume.
+	MinorLogCursor int64
+	// PromotedSinceMajor and PromoHighWater are the scheduling state a
+	// restored collector needs to keep the major threshold O and the
+	// degradation ladder's headroom reservation honest across a crash.
+	PromotedSinceMajor int64
+	PromoHighWater     int64
+}
+
+// Checkpointer receives one callback per collection pause, inside the pause.
+// internal/checkpoint.Writer is the implementation; the interface lives here
+// so core does not import the I/O layer.
+type Checkpointer interface {
+	PauseCheckpoint(m *Mutator, p CheckpointPoint)
+}
+
+// SetCheckpointer attaches w (nil detaches). The mutator must log all
+// mutations: the checkpoint write-ahead log is the mutation log, and a
+// pointers-only log would lose non-pointer stores across recovery.
+func (c *Replicating) SetCheckpointer(w Checkpointer) { c.ckpt = w }
+
+// checkpointPoint assembles the pause-boundary state for the writer.
+func (c *Replicating) checkpointPoint() CheckpointPoint {
+	return CheckpointPoint{
+		Quiescent:          !c.minorActive && !c.majorActive,
+		MajorActive:        c.majorActive,
+		MajorCollections:   c.stats.MajorCollections,
+		MinorLogCursor:     c.minorLogCursor,
+		PromotedSinceMajor: c.promotedSinceMajor,
+		PromoHighWater:     c.promoHighWater,
+	}
+}
+
+// CheckpointNow exposes the current pause-boundary state outside the hook,
+// for checkpoint.Writer.ForceCommit (which runs its own pause window after
+// FinishCycles has left the collector quiescent).
+func (c *Replicating) CheckpointNow() CheckpointPoint { return c.checkpointPoint() }
+
+// RestoreScheduling reinstates the collector scheduling state a checkpoint
+// recorded at commit time: the pending log cursor (the remembered set starts
+// there), the promotion volume counted toward the major threshold O, and the
+// promotion high-water mark feeding the headroom reservation. It must be
+// called on a freshly constructed collector, before the mutator runs.
+//
+//gclint:pauseentry recovery runs before the mutator is released; no barrier can append behind the restored cursor
+func (c *Replicating) RestoreScheduling(minorLogCursor, promotedSinceMajor, promoHighWater int64) {
+	c.minorLogCursor = minorLogCursor
+	c.promotedSinceMajor = promotedSinceMajor
+	c.promoHighWater = promoHighWater
+	c.scan = c.h.OldFrom().Next
+	c.scanSlot = 0
+}

@@ -56,6 +56,39 @@ type LogEntry struct {
 type MutationLog struct {
 	entries []LogEntry
 	base    int64 // sequence number of entries[0]
+
+	// pin, while pinned, is a low-water mark TrimTo may not pass: an open
+	// checkpoint epoch replays every entry from its pin at commit time, so
+	// trimming past it would silently drop write-ahead-log records and the
+	// recovered heap would miss mutations.
+	pin    int64
+	pinned bool
+}
+
+// Pin clamps all future TrimTo calls to seq: entries at and above seq stay
+// retained until Unpin. Pinning below the current base cannot resurrect
+// already-trimmed entries; the effective pin is max(seq, Base()).
+func (l *MutationLog) Pin(seq int64) {
+	if seq < l.base {
+		seq = l.base
+	}
+	l.pin, l.pinned = seq, true
+}
+
+// Unpin lifts the trim clamp.
+func (l *MutationLog) Unpin() { l.pinned = false }
+
+// Pinned reports the active pin, or (0, false).
+func (l *MutationLog) Pinned() (int64, bool) { return l.pin, l.pinned }
+
+// Restore replaces the log's contents wholesale: entries[0] gets sequence
+// number base. It is the recovery path's entry point (the retained suffix of
+// a checkpointed run's log is part of the checkpoint); the log is left
+// unpinned.
+func (l *MutationLog) Restore(base int64, entries []LogEntry) {
+	l.entries = append(l.entries[:0:0], entries...)
+	l.base = base
+	l.pinned = false
 }
 
 // Append adds an entry and returns its sequence number.
@@ -84,6 +117,8 @@ func (l *MutationLog) At(seq int64) LogEntry {
 const trimCompactFloor = 64
 
 // TrimTo discards entries below seq (all cursors must have passed seq).
+// While a checkpoint pin is active the trim is clamped to the pin, so an
+// epoch's write-ahead range can never be truncated out from under it.
 //
 // The common trim is an O(1) re-slice; the discarded prefix lingers in the
 // backing array until the next growth reallocation drops it. Only when the
@@ -93,6 +128,9 @@ const trimCompactFloor = 64
 // O(m·retained), and a huge log spike cannot pin its backing array behind a
 // handful of surviving entries.
 func (l *MutationLog) TrimTo(seq int64) {
+	if l.pinned && seq > l.pin {
+		seq = l.pin
+	}
 	if seq <= l.base {
 		return
 	}

@@ -77,3 +77,117 @@ func TestTrimToRepeatedSmallTrims(t *testing.T) {
 		t.Fatalf("steady-state capacity %d grew unboundedly (window %d)", l.Capacity(), window)
 	}
 }
+
+// TestTrimToRespectsPin pins the checkpoint truncation race: while an epoch
+// holds a pin, a minor flip's trim must not discard entries the epoch will
+// replay at commit, even when the trim target is far past the pin.
+func TestTrimToRespectsPin(t *testing.T) {
+	var l MutationLog
+	for i := 0; i < 256; i++ {
+		l.Append(LogEntry{Obj: heap.Value(8), Slot: int32(i)})
+	}
+
+	l.Pin(100)
+	l.TrimTo(200) // a flip passing the pin: must clamp to 100
+	if got := l.Base(); got != 100 {
+		t.Fatalf("Base() = %d after pinned trim, want 100", got)
+	}
+	for seq := int64(100); seq < l.Len(); seq++ {
+		if got := l.At(seq); int64(got.Slot) != seq {
+			t.Fatalf("entry %d corrupted by pinned trim: slot %d", seq, got.Slot)
+		}
+	}
+
+	// Trims below the pin still work.
+	l.TrimTo(100)
+	if got := l.Base(); got != 100 {
+		t.Fatalf("Base() = %d, want 100", got)
+	}
+
+	// Unpin releases the clamp; the deferred trim can now complete.
+	l.Unpin()
+	l.TrimTo(200)
+	if got := l.Base(); got != 200 {
+		t.Fatalf("Base() = %d after unpinned trim, want 200", got)
+	}
+}
+
+// TestTrimToPinSurvivesCompaction drives a pinned trim through the
+// compaction path and checks the pinned range survives the copy.
+func TestTrimToPinSurvivesCompaction(t *testing.T) {
+	var l MutationLog
+	const spike = 4096
+	for i := 0; i < spike; i++ {
+		l.Append(LogEntry{Obj: heap.Value(8), Slot: int32(i)})
+	}
+	pin := l.Len() - 32
+	l.Pin(pin)
+	l.TrimTo(l.Len()) // wants everything gone; pin holds the last 32
+	if got := l.Base(); got != pin {
+		t.Fatalf("Base() = %d, want pin %d", got, pin)
+	}
+	if got := l.Retained(); got != 32 {
+		t.Fatalf("Retained() = %d, want 32", got)
+	}
+	for seq := pin; seq < l.Len(); seq++ {
+		if got := l.At(seq); int64(got.Slot) != seq {
+			t.Fatalf("entry %d corrupted: slot %d", seq, got.Slot)
+		}
+	}
+}
+
+// TestPinClampsToBase checks that pinning below the already-trimmed base
+// cannot resurrect discarded entries or wedge future trims.
+func TestPinClampsToBase(t *testing.T) {
+	var l MutationLog
+	for i := 0; i < 64; i++ {
+		l.Append(LogEntry{Obj: heap.Value(8), Slot: int32(i)})
+	}
+	l.TrimTo(40)
+	l.Pin(10) // below base: effective pin is 40
+	if pin, ok := l.Pinned(); !ok || pin != 40 {
+		t.Fatalf("Pinned() = (%d, %v), want (40, true)", pin, ok)
+	}
+	l.TrimTo(50)
+	if got := l.Base(); got != 40 {
+		t.Fatalf("Base() = %d, want 40 (clamped to pin)", got)
+	}
+}
+
+// TestLogRestore checks the recovery path's wholesale replacement: contents,
+// base, and the pin all reset.
+func TestLogRestore(t *testing.T) {
+	var l MutationLog
+	for i := 0; i < 16; i++ {
+		l.Append(LogEntry{Obj: heap.Value(8), Slot: int32(i)})
+	}
+	l.Pin(4)
+
+	entries := []LogEntry{
+		{Obj: heap.Value(16), Slot: 7},
+		{Obj: heap.Value(24), Slot: 9},
+	}
+	l.Restore(1000, entries)
+	if got := l.Base(); got != 1000 {
+		t.Fatalf("Base() = %d, want 1000", got)
+	}
+	if got := l.Len(); got != 1002 {
+		t.Fatalf("Len() = %d, want 1002", got)
+	}
+	if _, ok := l.Pinned(); ok {
+		t.Fatal("Restore left the log pinned")
+	}
+	if got := l.At(1001); got.Slot != 9 {
+		t.Fatalf("At(1001).Slot = %d, want 9", got.Slot)
+	}
+	// Restore copies: mutating the caller's slice must not alias the log.
+	entries[0].Slot = 99
+	if got := l.At(1000); got.Slot != 99 {
+		// aliasing would show 99; a copy shows 7
+		if got.Slot != 7 {
+			t.Fatalf("At(1000).Slot = %d, want 7", got.Slot)
+		}
+	} else {
+		t.Fatal("Restore aliased the caller's slice")
+	}
+}

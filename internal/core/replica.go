@@ -231,6 +231,11 @@ type Replicating struct {
 	pauseCopied   int64 // bytes copied this pause (for the recorder)
 	pauseLogProcd int64 // log entries processed this pause
 	pauseWork     int64 // copy+scan bytes counted against the L budget
+
+	// ckpt, when set, is called at the tail of every pause (still inside
+	// the pause window) so the checkpoint writer can advance its snapshot
+	// cursor under the same stopped-mutator guarantee collection work has.
+	ckpt Checkpointer
 }
 
 // NewReplicating builds a collector over h. Attach it to the mutator with
@@ -447,6 +452,12 @@ func (c *Replicating) pause(m *Mutator, needWords int, force bool) error {
 	kind := simtime.PauseMinor
 	err := c.pauseBody(m, needWords, force, &kind)
 	c.emergency = false
+
+	if c.ckpt != nil {
+		end := c.phase(m, trace.PhaseCheckpoint)
+		c.ckpt.PauseCheckpoint(m, c.checkpointPoint())
+		end()
+	}
 
 	length := m.Clock.EndPause()
 	if DebugPause != nil && length > 100*simtime.Millisecond {

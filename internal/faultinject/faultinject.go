@@ -212,3 +212,92 @@ func (in *Injector) apply(ev Event) error {
 	}
 	return fmt.Errorf("faultinject: unknown action %v", ev.Action)
 }
+
+// CrashTarget selects which checkpoint artifact a crash plan damages.
+type CrashTarget int
+
+const (
+	// CrashSnapshot damages the newest epoch's snapshot file.
+	CrashSnapshot CrashTarget = iota
+	// CrashWAL damages the newest epoch's write-ahead log.
+	CrashWAL
+
+	numCrashTargets
+)
+
+// String names the target.
+func (t CrashTarget) String() string {
+	switch t {
+	case CrashSnapshot:
+		return "snapshot"
+	case CrashWAL:
+		return "wal"
+	}
+	return fmt.Sprintf("CrashTarget(%d)", int(t))
+}
+
+// CrashKind selects how the targeted file is damaged — the three failure
+// modes a real kill-at-byte-k crash (or a torn sector) leaves behind.
+type CrashKind int
+
+const (
+	// CrashTruncate cuts the file at a fractional offset, as if the
+	// process was killed mid-write at byte k.
+	CrashTruncate CrashKind = iota
+	// CrashTornWord flips bits inside one aligned word at a fractional
+	// offset: a torn or misdirected sector write.
+	CrashTornWord
+	// CrashDuplicateRecord appends a copy of an interior byte range, the
+	// classic doubled-record artifact of a replayed buffer flush.
+	CrashDuplicateRecord
+
+	numCrashKinds
+)
+
+// String names the kind.
+func (k CrashKind) String() string {
+	switch k {
+	case CrashTruncate:
+		return "truncate"
+	case CrashTornWord:
+		return "torn-word"
+	case CrashDuplicateRecord:
+		return "duplicate-record"
+	}
+	return fmt.Sprintf("CrashKind(%d)", int(k))
+}
+
+// CrashPlan is one deterministic crash site: which artifact, what damage,
+// and where within the file (as a fraction, so one plan scales to any file
+// size). Mask seeds the torn-word bit flip; it is never zero. The plan is
+// pure data — internal/checkpoint applies it to files, keeping this package
+// free of I/O.
+type CrashPlan struct {
+	Target   CrashTarget
+	Kind     CrashKind
+	Fraction float64 // damage site as a fraction of file size, in [0, 1)
+	Mask     uint64  // torn-word XOR pattern
+}
+
+// String renders the plan compactly for matrix reports.
+func (p CrashPlan) String() string {
+	return fmt.Sprintf("%s/%s@%.3f", p.Target, p.Kind, p.Fraction)
+}
+
+// CrashPlans builds n seeded crash sites covering every target × kind
+// combination before repeating, with seeded fractional offsets. The same
+// seed always yields the same plans.
+func CrashPlans(seed uint64, n int) []CrashPlan {
+	s := seed
+	out := make([]CrashPlan, 0, n)
+	for i := 0; i < n; i++ {
+		p := CrashPlan{
+			Target:   CrashTarget(i % int(numCrashTargets)),
+			Kind:     CrashKind((i / int(numCrashTargets)) % int(numCrashKinds)),
+			Fraction: float64(splitmix64(&s)%1000) / 1000,
+			Mask:     splitmix64(&s) | 1, // never zero: always flips at least one bit
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -136,3 +136,43 @@ func TestAdversarialFaultsYieldTypedOOM(t *testing.T) {
 		})
 	}
 }
+
+// TestCrashPlansDeterministic pins the property the crash matrix depends
+// on: plans are pure data derived from the seed, so a failing matrix cell
+// names a reproducible crash site.
+func TestCrashPlansDeterministic(t *testing.T) {
+	a := faultinject.CrashPlans(0xc0ffee, 16)
+	b := faultinject.CrashPlans(0xc0ffee, 16)
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("plan counts: %d, %d, want 16", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := faultinject.CrashPlans(0xdead, 16)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical plan sets")
+	}
+	targets, kinds := map[faultinject.CrashTarget]bool{}, map[faultinject.CrashKind]bool{}
+	for _, p := range a {
+		targets[p.Target] = true
+		kinds[p.Kind] = true
+		if p.Fraction < 0 || p.Fraction >= 1 {
+			t.Fatalf("plan fraction %v outside [0,1)", p.Fraction)
+		}
+		if p.Kind == faultinject.CrashTornWord && p.Mask == 0 {
+			t.Fatal("torn-word plan with a zero mask would damage nothing")
+		}
+	}
+	if len(targets) != 2 || len(kinds) != 3 {
+		t.Fatalf("16 plans cover %d targets and %d kinds; want every target and kind", len(targets), len(kinds))
+	}
+}

@@ -53,6 +53,12 @@ func (v Value) IsPtr() bool { return v != Nil && v&1 == 0 }
 // index returns the arena word index of the first payload word.
 func (v Value) index() uint64 { return uint64(v) >> 3 }
 
+// WordIndex returns the arena word index of payload word slot of object p.
+// It exists for the checkpoint subsystem, which addresses snapshot segments
+// and WAL patch records by absolute arena index; everything else goes through
+// Load/Store.
+func WordIndex(p Value, slot int) uint64 { return p.index() + uint64(slot) }
+
 // ptrFromIndex builds a pointer Value from an arena word index.
 func ptrFromIndex(idx uint64) Value { return Value(idx << 3) }
 

@@ -57,12 +57,14 @@ const (
 	AcctLogReapply                 // reapplying mutations to replicas (CR)
 	AcctFlip                       // atomically updating roots at a flip (CF)
 	AcctRootScan                   // scanning mutator roots
+	AcctCheckpoint                 // incremental snapshot copying and WAL persistence
 	numAccounts
 )
 
 var acctNames = [numAccounts]string{
 	"mutator", "alloc", "log-write", "header-check",
 	"minor-copy", "major-copy", "log-scan", "log-reapply", "flip", "root-scan",
+	"checkpoint",
 }
 
 // String returns the short name of the account.

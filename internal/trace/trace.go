@@ -38,11 +38,12 @@ const (
 	PhaseCopy                   // replication copying and Cheney scanning
 	PhaseFlip                   // atomically re-pointing roots and logged slots
 	PhaseEmergency              // degradation-ladder escalation marker
+	PhaseCheckpoint             // incremental snapshot copying / WAL commit
 	NumPhases
 )
 
 var phaseNames = [NumPhases]string{
-	"root-scan", "log-replay", "copy", "flip", "emergency",
+	"root-scan", "log-replay", "copy", "flip", "emergency", "checkpoint",
 }
 
 // String returns the phase's short name.
