@@ -1,6 +1,6 @@
 # repligc — common tasks. Everything is stdlib-only and offline.
 
-.PHONY: all build lint test race bench bench-smoke crash-matrix trace microbench experiments quick-experiments examples clean
+.PHONY: all build lint test race bench bench-baseline bench-smoke calibrate calibrate-smoke crash-matrix trace microbench experiments quick-experiments examples clean
 
 all: build lint test
 
@@ -25,19 +25,43 @@ test:
 race:
 	go test -race ./...
 
-# Regenerate the write-barrier coalescing trajectory at full scale:
-# per-workload baseline-vs-coalesced log and pause metrics plus wall-clock
-# barrier ns/op. The committed BENCH_PR3.json is this target's output.
+# Regenerate the perf trajectory at full scale: per-workload
+# baseline-vs-coalesced-vs-checkpointed log and pause metrics plus wall-clock
+# barrier and hot-path ns/op. The committed BENCH_PR8.json is this target's
+# output, gated against itself-as-baseline when present.
 bench:
-	go run ./cmd/rtgc-bench -out BENCH_PR3.json perf
-	go run ./cmd/rtgc-bench validate BENCH_PR3.json
+	go run ./cmd/rtgc-bench -out BENCH_PR8.json perf
+	go run ./cmd/rtgc-bench validate BENCH_PR8.json
 
-# CI's bench smoke: a quick-scale report, validated for schema shape only
-# (never gated on the measured numbers), plus the checkpoint-recovery smoke.
+# Regenerate the committed quick-scale baseline (BENCH_SMOKE.json) that
+# bench-smoke gates fresh reports against. Simulated numbers are
+# deterministic across machines, so the gate compares exactly; rerun this
+# target only when a deliberate collector or cost-model change moves them.
+bench-baseline:
+	go run ./cmd/rtgc-bench -quick -out BENCH_SMOKE.json perf
+	go run ./cmd/rtgc-bench validate BENCH_SMOKE.json
+
+# CI's bench smoke: a quick-scale report validated for schema shape and
+# gated against the committed baseline (simulated p95 pause and elapsed time
+# only — wall-clock sections are never gated), plus the checkpoint-recovery
+# smoke.
 bench-smoke:
-	go run ./cmd/rtgc-bench -quick -out /tmp/bench_smoke.json perf
+	go run ./cmd/rtgc-bench -quick -out /tmp/bench_smoke.json -baseline BENCH_SMOKE.json perf
 	go run ./cmd/rtgc-bench validate /tmp/bench_smoke.json
 	go run ./cmd/rtgc-bench recover
+
+# Fit the simulated cost model to this machine's wall clock: run the paper
+# workloads and the single-primitive probes uninstrumented, extract work
+# counts from the collector's counters, least-squares the cost constants,
+# and write the repligc-calib/1 artifact.
+calibrate:
+	go run ./cmd/rtgc-bench -out CALIB.json calibrate
+	go run ./cmd/rtgc-bench calibcheck CALIB.json
+
+# CI's calibration smoke: reduced iterations, artifact validated end to end.
+calibrate-smoke:
+	go run ./cmd/rtgc-bench -quick -out /tmp/calib_smoke.json calibrate
+	go run ./cmd/rtgc-bench calibcheck /tmp/calib_smoke.json
 
 # The deterministic crash-point matrix: seeded workloads × crash plans
 # (snapshot/WAL × truncate/torn-word/duplicate-record, newest-epoch and

@@ -7,18 +7,29 @@
 // Usage:
 //
 //	rtgc-bench [-quick] table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|ablations|all
-//	rtgc-bench [-quick] [-out FILE] perf
+//	rtgc-bench [-quick] [-out FILE] [-baseline FILE] perf
 //	rtgc-bench validate FILE
+//	rtgc-bench [-quick] [-out FILE] calibrate
+//	rtgc-bench calibcheck FILE
 //	rtgc-bench [-quick] [-out FILE] trace [workload]
 //	rtgc-bench tracecheck FILE
 //	rtgc-bench recover
 //	rtgc-bench [-out FILE] crashmatrix
 //
-// "perf" emits the write-barrier coalescing trajectory (BENCH_PR3.json):
-// per-workload baseline-vs-coalesced log and pause metrics in simulated
-// time, plus wall-clock barrier ns/op. "validate" checks a previously
-// emitted report's schema and internal consistency (the CI smoke check —
-// shape only, never thresholds on the numbers).
+// "perf" emits the performance trajectory (BENCH_PR8.json): per-workload
+// baseline-vs-coalesced-vs-checkpointed log and pause metrics in simulated
+// time, plus wall-clock barrier and hot-path ns/op. "validate" checks a
+// previously emitted report's schema and internal consistency (the CI smoke
+// check — shape only, never thresholds on the numbers). With -baseline, a
+// fresh perf report is additionally gated against a committed one: simulated
+// p95 pause or elapsed time regressing beyond tolerance fails the run.
+//
+// "calibrate" runs the wall-clock calibration harness (internal/calib): the
+// benchmark workloads and single-primitive probes run uninstrumented under
+// the host clock, per-primitive work counts are extracted from the
+// collector's counters, and a least-squares fit produces this machine's
+// simtime cost constants (repligc-calib/1 artifact). "calibcheck" validates
+// a previously emitted artifact.
 //
 // "trace" runs the paper workloads (Primes, Sort, Comp — or just the one
 // named) under the full real-time configuration with the event recorder
@@ -48,10 +59,13 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use the small test-scale workloads")
 	out := flag.String("out", "", "write the perf report to this file instead of stdout")
+	baseline := flag.String("baseline", "", "gate a fresh perf report against this committed report (simulated elapsed and p95 pause)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rtgc-bench [-quick] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "       rtgc-bench [-quick] [-out FILE] perf\n")
+		fmt.Fprintf(os.Stderr, "       rtgc-bench [-quick] [-out FILE] [-baseline FILE] perf\n")
 		fmt.Fprintf(os.Stderr, "       rtgc-bench validate FILE\n")
+		fmt.Fprintf(os.Stderr, "       rtgc-bench [-quick] [-out FILE] calibrate\n")
+		fmt.Fprintf(os.Stderr, "       rtgc-bench calibcheck FILE\n")
 		fmt.Fprintf(os.Stderr, "       rtgc-bench [-quick] [-out FILE] trace [Primes|Sort|Comp]\n")
 		fmt.Fprintf(os.Stderr, "       rtgc-bench tracecheck FILE\n")
 		fmt.Fprintf(os.Stderr, "       rtgc-bench recover\n")
@@ -62,7 +76,7 @@ func main() {
 	flag.Parse()
 	wantArgs := 1
 	switch {
-	case flag.NArg() > 0 && (flag.Arg(0) == "validate" || flag.Arg(0) == "tracecheck"):
+	case flag.NArg() > 0 && (flag.Arg(0) == "validate" || flag.Arg(0) == "tracecheck" || flag.Arg(0) == "calibcheck"):
 		wantArgs = 2
 	case flag.NArg() == 2 && flag.Arg(0) == "trace":
 		wantArgs = 2 // optional workload selector
@@ -152,13 +166,17 @@ func main() {
 			}
 			fmt.Print(bench.FormatLogPolicy(logpol))
 		case "perf":
-			return runPerf(scale, scaleName, *out)
+			return runPerf(scale, scaleName, *out, *baseline)
 		case "recover":
 			return runRecoverSmoke()
 		case "crashmatrix":
 			return runCrashMatrix(*out)
 		case "validate":
 			return runValidate(flag.Arg(1))
+		case "calibrate":
+			return runCalibrate(*quick, *out)
+		case "calibcheck":
+			return runCalibCheck(flag.Arg(1))
 		case "trace":
 			return runTrace(scale, flag.Arg(1), *out)
 		case "tracecheck":

@@ -1,10 +1,10 @@
 package main
 
-// The perf subcommand: emits the PR's barrier/coalescing trajectory as JSON
-// (BENCH_PR3.json). Workload metrics come from internal/bench in simulated
-// time; the barrier ns/op section below is wall-clock, which is why it lives
-// in this command rather than under internal/ (the simulated-clock-only lint
-// boundary).
+// The perf subcommand: emits the performance trajectory as JSON
+// (BENCH_PR8.json). Workload metrics come from internal/bench in simulated
+// time; the barrier and hot-path ns/op sections are wall-clock, which is why
+// they live in this command rather than under internal/ (the
+// simulated-clock-only lint boundary).
 
 import (
 	"encoding/json"
@@ -102,15 +102,26 @@ func measureBarrier() bench.BarrierNsOp {
 	return b
 }
 
-// runPerf builds the full report and writes it to outPath ("" = stdout).
+// regressionTolerancePct is how far a fresh report's simulated elapsed time
+// or p95 pause may drift above the committed baseline before the gate
+// fails. Simulated numbers are deterministic, so on unchanged code the
+// comparison is exact; the headroom only admits deliberate small changes.
+const regressionTolerancePct = 10
+
+// runPerf builds the full report and writes it to outPath ("" = stdout),
+// gating it against baselinePath when one is given.
 //
 //gclint:io writes the benchmark report JSON to the requested path
-func runPerf(s bench.Scale, scaleName, outPath string) error {
+func runPerf(s bench.Scale, scaleName, outPath, baselinePath string) error {
 	rep, err := bench.RunPerf(s, scaleName)
 	if err != nil {
 		return err
 	}
 	rep.Barrier = measureBarrier()
+	rep.HotPaths, err = measureHotPaths(s)
+	if err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -119,6 +130,17 @@ func runPerf(s bench.Scale, scaleName, outPath string) error {
 	if err := bench.ValidatePerf(data); err != nil {
 		return fmt.Errorf("generated report failed validation: %w", err)
 	}
+	if baselinePath != "" {
+		base, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("perf baseline: %w", err)
+		}
+		if err := bench.ComparePerf(data, base, regressionTolerancePct); err != nil {
+			return err
+		}
+		fmt.Printf("baseline gate passed against %s (+%d%% tolerance)\n",
+			baselinePath, regressionTolerancePct)
+	}
 	if outPath == "" {
 		_, err = os.Stdout.Write(data)
 		return err
@@ -126,12 +148,13 @@ func runPerf(s bench.Scale, scaleName, outPath string) error {
 	if err := os.WriteFile(outPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d workloads, barrier %0.1f -> %0.1f ns/op)\n",
-		outPath, len(rep.Workloads), rep.Barrier.Naive, rep.Barrier.DirtyHit)
+	fmt.Printf("wrote %s (%d workloads, barrier %0.1f -> %0.1f ns/op, replay %0.1f -> %0.1f, copy %0.2f -> %0.2f ns/B)\n",
+		outPath, len(rep.Workloads), rep.Barrier.Naive, rep.Barrier.DirtyHit,
+		rep.HotPaths.ReplayNaive, rep.HotPaths.ReplayBatched,
+		rep.HotPaths.ByteCopyNaive, rep.HotPaths.ByteCopyBlock)
 	return nil
 }
 
-// runValidate checks an existing report file.
 // runValidate checks an existing report file.
 //
 //gclint:io reads the benchmark report JSON under validation

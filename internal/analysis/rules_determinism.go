@@ -13,6 +13,14 @@ import (
 // configurations (the paper's §4.2 replay methodology depends on it). A
 // single time.Now or time.Sleep smuggled into the simulation would couple
 // results to the host scheduler.
+//
+// One package is different in kind: internal/calib exists to measure real
+// elapsed time (it fits the simulated cost model to the host's wall clock).
+// There the rule enforces a boundary instead of a ban — each function
+// reading the wall clock must carry a //gclint:wallclock <reason>
+// annotation, the annotation is rejected anywhere else, and an annotation
+// on a function that reads no clock is itself a finding (it would silently
+// license a future nondeterminism).
 type WallClockRule struct{}
 
 // Name implements Rule.
@@ -20,8 +28,13 @@ func (*WallClockRule) Name() string { return "wallclock" }
 
 // Doc implements Rule.
 func (*WallClockRule) Doc() string {
-	return "simulation-governed packages must charge simtime.Clock, never read the wall clock"
+	return "simulation-governed packages must charge simtime.Clock, never read the wall clock (internal/calib may, inside //gclint:wallclock-annotated functions)"
 }
+
+// calibPkgPath is the one package whose purpose is wall-clock measurement.
+const calibPkgPath = "repligc/internal/calib"
+
+const wallClockPrefix = "//gclint:wallclock"
 
 // wallClockFuncs are the package-time functions that observe or depend on
 // real time.
@@ -46,26 +59,83 @@ func (r *WallClockRule) Appraise(pass *Pass) {
 	if !strings.HasPrefix(p, "repligc/internal/") && !strings.HasPrefix(p, "repligc/cmd/") {
 		return
 	}
+	calib := p == calibPkgPath
 	for _, f := range pass.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
 			if !ok {
-				return true
+				// File-scope initialisers have no doc comment to hang a
+				// reason on, so wall-clock reads there are always flagged.
+				r.checkSites(pass, decl, false, "")
+				continue
 			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok || !wallClockFuncs[sel.Sel.Name] {
-				return true
+			reason, annotated := wallClockAnnotation(fd)
+			if annotated && reason == "" {
+				pass.Reportf(fd.Pos(),
+					"//gclint:wallclock needs a reason: state why this function must read real time")
+				annotated = false
 			}
-			pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
-			if !ok || pn.Imported().Path() != "time" {
-				return true
+			if annotated && !calib {
+				pass.Reportf(fd.Pos(),
+					"//gclint:wallclock on %s: package %s is simulation-governed; wall-clock measurement belongs to internal/calib only",
+					fd.Name.Name, p)
+				annotated = false
 			}
-			pass.Reportf(sel.Sel.Pos(),
-				"time.%s in a simulation-governed package: all timing must advance the simulated clock (simtime.Clock.Charge) so runs stay bit-for-bit reproducible",
-				sel.Sel.Name)
-			return true
-		})
+			sites := r.checkSites(pass, fd, annotated && calib, fd.Name.Name)
+			if annotated && calib && sites == 0 {
+				pass.Reportf(fd.Pos(),
+					"unused //gclint:wallclock on %s: the function reads no clock; drop the annotation (it would silently license a future nondeterminism)",
+					fd.Name.Name)
+			}
+		}
 	}
+}
+
+// checkSites walks n for wall-clock reads, reporting each unless licensed,
+// and returns the number of sites found.
+func (r *WallClockRule) checkSites(pass *Pass, n ast.Node, licensed bool, fn string) int {
+	sites := 0
+	ast.Inspect(n, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || !wallClockFuncs[sel.Sel.Name] {
+			return true
+		}
+		pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "time" {
+			return true
+		}
+		sites++
+		if licensed {
+			return true
+		}
+		where := "at file scope"
+		if fn != "" {
+			where = "in " + fn
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"time.%s %s: all timing must advance the simulated clock (simtime.Clock.Charge) so runs stay bit-for-bit reproducible; only internal/calib may read real time, inside //gclint:wallclock-annotated functions",
+			sel.Sel.Name, where)
+		return true
+	})
+	return sites
+}
+
+// wallClockAnnotation reports the //gclint:wallclock reason on fd's doc
+// comment and whether the annotation is present at all.
+func wallClockAnnotation(fd *ast.FuncDecl) (string, bool) {
+	if fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		if reason, ok := annotationText(c, wallClockPrefix); ok {
+			return reason, true
+		}
+	}
+	return "", false
 }
 
 // MapRangeRule flags range loops over maps in non-test code. Go randomises

@@ -1,0 +1,38 @@
+// Package fixwallclockcalib exercises the wallclock rule's calibration
+// boundary: masquerading as repligc/internal/calib, wall-clock reads are
+// legal only inside functions annotated //gclint:wallclock <reason>.
+package fixwallclockcalib
+
+import "time"
+
+// stopwatch is the intended shape: an annotated function owning the reads.
+//
+//gclint:wallclock calibration fits the simulated cost model against real elapsed time
+func stopwatch() func() int64 {
+	start := time.Now()
+	return func() int64 { return int64(time.Since(start)) }
+}
+
+// reasonless carries the annotation without saying why, which is flagged,
+// and its read is then unlicensed.
+//
+//gclint:wallclock
+func reasonless() time.Time {
+	return time.Now()
+}
+
+// unannotated reads the clock with no annotation at all.
+func unannotated() time.Time {
+	return time.Now()
+}
+
+// unused carries the annotation but reads no clock: flagged so a stale
+// annotation cannot silently license a future read.
+//
+//gclint:wallclock left over from a deleted measurement
+func unused() time.Duration {
+	return 3 * time.Second
+}
+
+// arithmetic is pure duration math; no annotation needed.
+func arithmetic() time.Duration { return 2 * time.Millisecond }

@@ -1,6 +1,6 @@
 package bench
 
-// The perf trajectory (BENCH_PR3.json): a machine-readable before/after
+// The perf trajectory (BENCH_PR8.json): a machine-readable before/after
 // comparison of the naive append-every-store write barrier against the
 // coalescing barrier (dirty stamps + nursery fast path), per workload, under
 // the full real-time configuration. "Before" is the same collector with
@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"reflect"
 
 	"repligc/internal/checkpoint"
 	"repligc/internal/simtime"
@@ -26,10 +27,12 @@ import (
 // repligc-bench/2 added per-leg MMU curves and per-phase pause attribution
 // (from the internal/trace subsystem). repligc-bench/3 added the
 // checkpointed leg: the coalesced collector with the incremental checkpoint
-// writer attached, measuring crash-consistency overhead.
-const PerfSchema = "repligc-bench/3"
+// writer attached, measuring crash-consistency overhead. repligc-bench/4
+// added the hot-path wall-clock section (replay memo, block byte copies,
+// batched scan, allocation-free roots) with its simulated-identity proof.
+const PerfSchema = "repligc-bench/4"
 
-// PerfReport is the document serialised to BENCH_PR3.json.
+// PerfReport is the document serialised to BENCH_PR8.json.
 type PerfReport struct {
 	Schema    string `json:"schema"`
 	Collector string `json:"collector"` // configuration of both legs ("rt")
@@ -41,7 +44,44 @@ type PerfReport struct {
 	// the report was produced without the wall-clock section.
 	Barrier BarrierNsOp `json:"barrier_ns_per_op"`
 
+	// HotPaths holds the wall-clock before/after of the collector's
+	// raw-speed optimisations (schema repligc-bench/4), also measured in
+	// cmd/rtgc-bench. "Before" is RunConfig.NaiveReplay — the same
+	// collector with the memo, block copies and batched scan disabled — so
+	// the pair differs only in implementation, never in simulated outcome.
+	HotPaths HotPathsNsOp `json:"hot_paths_ns_per_op"`
+
 	Workloads []PerfWorkload `json:"workloads"`
+}
+
+// HotPathsNsOp is the wall-clock hot-path micro-benchmark section. Each
+// pair reports nanoseconds per operation through the naive path and the
+// optimised one; SimIdentical certifies that a full workload run produced
+// bit-identical simulated measurements both ways (the optimisations must
+// change wall time only).
+type HotPathsNsOp struct {
+	ReplayNaive   float64 `json:"replay_naive"`   // per logged store replayed, entry-at-a-time checks
+	ReplayBatched float64 `json:"replay_batched"` // same, through the per-object forwarding memo
+	ReplaySpeedupX float64 `json:"replay_speedup_x"`
+
+	ByteCopyNaive float64 `json:"byte_copy_naive"` // per byte re-applied byte-at-a-time
+	ByteCopyBlock float64 `json:"byte_copy_block"` // per byte through CopyPayloadBytes
+	ByteCopySpeedupX float64 `json:"byte_copy_speedup_x"`
+
+	ScanNaive   float64 `json:"scan_naive"`   // per slot scanned with per-slot budget checks
+	ScanBatched float64 `json:"scan_batched"` // per slot with batched budget accounting
+	ScanSpeedupX float64 `json:"scan_speedup_x"`
+
+	RootsVisit float64 `json:"roots_visit"` // per root slot via the closure-based Visit
+	RootsSlots float64 `json:"roots_slots"` // per root slot via the reusable Slots buffer
+	RootsSpeedupX float64 `json:"roots_speedup_x"`
+
+	// ZeroAllocs is true when root enumeration and the replay batch path
+	// allocate nothing per operation (asserted, not just measured).
+	ZeroAllocs bool `json:"zero_allocs"`
+	// SimIdentical is true when the naive and optimised runs of every
+	// workload agreed on all simulated measurements, bit for bit.
+	SimIdentical bool `json:"sim_identical"`
 }
 
 // BarrierNsOp is the wall-clock barrier micro-benchmark section.
@@ -261,6 +301,69 @@ func RunPerf(s Scale, scaleName string) (*PerfReport, error) {
 	return rep, nil
 }
 
+// ReplaySimIdentical runs every workload under the real-time configuration
+// twice — hot paths enabled and NaiveReplay — and reports whether all
+// simulated measurements agreed exactly. This is the schema-4 proof
+// obligation: the replay memo, block byte copies and batched scan accounting
+// may change wall-clock time only, never a simulated number.
+func ReplaySimIdentical(s Scale) (bool, error) {
+	for _, w := range []Workload{Primes(s), Sort(s), Comp(s)} {
+		opt, err := Run(w, RunConfig{Config: CfgRT, Params: perfParams()})
+		if err != nil {
+			return false, fmt.Errorf("sim-identity %s optimised: %w", w.Name(), err)
+		}
+		naive, err := Run(w, RunConfig{Config: CfgRT, Params: perfParams(), NaiveReplay: true})
+		if err != nil {
+			return false, fmt.Errorf("sim-identity %s naive: %w", w.Name(), err)
+		}
+		if !reflect.DeepEqual(opt, naive) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ComparePerf gates a fresh report against a committed baseline: simulated
+// elapsed time and p95 pause of the coalesced leg may not regress beyond
+// tolPct percent on any workload. Simulated numbers are deterministic, so on
+// unchanged code the comparison is exact and the tolerance only admits
+// deliberate cost-model or collector changes small enough to accept.
+func ComparePerf(fresh, baseline []byte, tolPct float64) error {
+	var fr, br PerfReport
+	if err := json.Unmarshal(fresh, &fr); err != nil {
+		return fmt.Errorf("fresh perf report: %w", err)
+	}
+	if err := json.Unmarshal(baseline, &br); err != nil {
+		return fmt.Errorf("baseline perf report: %w", err)
+	}
+	if fr.Schema != br.Schema {
+		return fmt.Errorf("perf baseline: schema %q vs fresh %q; regenerate the baseline", br.Schema, fr.Schema)
+	}
+	if fr.Scale != br.Scale {
+		return fmt.Errorf("perf baseline: scale %q vs fresh %q; compare like with like", br.Scale, fr.Scale)
+	}
+	base := make(map[string]PerfWorkload, len(br.Workloads))
+	for _, w := range br.Workloads {
+		base[w.Name] = w
+	}
+	limit := 1 + tolPct/100
+	for _, w := range fr.Workloads {
+		b, ok := base[w.Name]
+		if !ok {
+			return fmt.Errorf("perf baseline: no workload %q to compare against", w.Name)
+		}
+		if bound := b.Coalesced.ElapsedMs * limit; w.Coalesced.ElapsedMs > bound {
+			return fmt.Errorf("perf regression: %s simulated elapsed %.3f ms exceeds baseline %.3f ms (+%.1f%% allowed)",
+				w.Name, w.Coalesced.ElapsedMs, b.Coalesced.ElapsedMs, tolPct)
+		}
+		if bound := b.Coalesced.PauseP95Ms * limit; w.Coalesced.PauseP95Ms > bound {
+			return fmt.Errorf("perf regression: %s simulated p95 pause %.3f ms exceeds baseline %.3f ms (+%.1f%% allowed)",
+				w.Name, w.Coalesced.PauseP95Ms, b.Coalesced.PauseP95Ms, tolPct)
+		}
+	}
+	return nil
+}
+
 // ValidatePerf checks that data parses as a PerfReport with the current
 // schema, all three workloads, and internally-consistent numbers. It is the
 // CI smoke check: shape and sanity, never thresholds on the measurements
@@ -272,6 +375,34 @@ func ValidatePerf(data []byte) error {
 	}
 	if rep.Schema != PerfSchema {
 		return fmt.Errorf("perf report: schema %q, want %q", rep.Schema, PerfSchema)
+	}
+	hp := rep.HotPaths
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"replay_naive", hp.ReplayNaive}, {"replay_batched", hp.ReplayBatched},
+		{"byte_copy_naive", hp.ByteCopyNaive}, {"byte_copy_block", hp.ByteCopyBlock},
+		{"scan_naive", hp.ScanNaive}, {"scan_batched", hp.ScanBatched},
+		{"roots_visit", hp.RootsVisit}, {"roots_slots", hp.RootsSlots},
+		{"replay_speedup_x", hp.ReplaySpeedupX}, {"byte_copy_speedup_x", hp.ByteCopySpeedupX},
+		{"scan_speedup_x", hp.ScanSpeedupX}, {"roots_speedup_x", hp.RootsSpeedupX},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return fmt.Errorf("perf report: hot_paths %s = %v is not a finite non-negative number", f.name, f.v)
+		}
+	}
+	if hp != (HotPathsNsOp{}) {
+		// A filled hot-path section must carry its proof obligations: the
+		// optimised paths produced bit-identical simulated results and the
+		// asserted-allocation-free paths allocated nothing. The ns/op
+		// magnitudes themselves are machine-dependent and never gated here.
+		if !hp.SimIdentical {
+			return fmt.Errorf("perf report: hot_paths present but sim_identical is false; the optimisations changed simulated results")
+		}
+		if !hp.ZeroAllocs {
+			return fmt.Errorf("perf report: hot_paths present but zero_allocs is false; root enumeration or batched replay allocated")
+		}
 	}
 	names := []string{"Primes", "Sort", "Comp"}
 	want := make(map[string]bool, len(names))

@@ -81,8 +81,14 @@ type RunConfig struct {
 	NurseryCapBytes int64
 	// NaiveBarrier disables write-barrier coalescing (the dirty-stamp and
 	// nursery fast paths), restoring the append-every-store barrier. Used
-	// as the baseline leg of the perf trajectory (BENCH_PR3.json).
+	// as the baseline leg of the perf trajectory.
 	NaiveBarrier bool
+	// NaiveReplay disables the collector's wall-clock hot-path
+	// optimisations (per-object replay memo, block byte copies, batched
+	// scan accounting). Simulated results are bit-identical either way;
+	// the flag exists for the differential tests and the before/after
+	// wall-clock sections of the perf report.
+	NaiveReplay bool
 	// Trace, when non-nil, attaches an event recorder to the run: the
 	// mutator's allocation epochs, the heap's log epochs and the
 	// collector's pause/phase events all land in it. Tracing charges
@@ -175,6 +181,7 @@ func NewRuntime(rc RunConfig) (*Runtime, error) {
 			LazyLogProcessing:    rc.Config == CfgRTLazy,
 			BoundedLogProcessing: rc.Config == CfgRTBounded,
 			DeferMutableCopies:   rc.Config == CfgRTDefer,
+			NaiveReplay:          rc.NaiveReplay,
 			Record:               rc.Record,
 		}
 		if rc.Config == CfgRTConc {

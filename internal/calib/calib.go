@@ -1,0 +1,550 @@
+// Package calib fits the simulated cost model to this machine's wall clock.
+//
+// The paper's experiments run entirely on the deterministic simulated clock
+// (internal/simtime), which is what makes every table reproducible
+// bit-for-bit. This package answers the complementary question: how well do
+// those simulated costs track *real* time on the host running the
+// implementation? It executes the benchmark workloads and a set of
+// single-primitive micro-probes uninstrumented, times them with the wall
+// clock, extracts per-primitive work counts from the collector's existing
+// counters, and least-squares-fits a simtime.CostModel whose constants are
+// nanoseconds-on-this-machine instead of nanoseconds-on-1993-hardware.
+//
+// Wall-clock reads are confined to functions carrying a
+// "//gclint:wallclock <reason>" annotation; the determinism lint enforces
+// that boundary (and rejects wall-clock reads anywhere else in the tree).
+package calib
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repligc/internal/bench"
+	"repligc/internal/core"
+	"repligc/internal/heap"
+	"repligc/internal/simtime"
+)
+
+// Schema identifies the calibration artifact format.
+const Schema = "repligc-calib/1"
+
+// Config sizes a calibration run.
+type Config struct {
+	// Scale sizes the benchmark workloads; the zero value means
+	// bench.DefaultScale. CI smoke runs pass bench.QuickScale.
+	Scale     bench.Scale
+	ScaleName string
+	// Reps is how many times each specimen runs; the minimum wall time is
+	// kept (the simulated side is deterministic, so repetition only fights
+	// scheduler noise). Zero means 3.
+	Reps int
+	// ProbeOps is the iteration count of each micro-probe. Zero means 200000.
+	ProbeOps int
+	// OldSemiBytes overrides the old-generation semispace size for every
+	// specimen; zero keeps the bench default. Smoke runs shrink it so that
+	// arena construction does not dominate the job.
+	OldSemiBytes int64
+}
+
+// Counts is the per-primitive work vector of one run, extracted from the
+// collector counters and the simulated clock's per-account breakdown. Each
+// account is charged as an exact integer multiple of one or two cost
+// constants, so the decomposition below recovers the counts exactly.
+type Counts struct {
+	Instructions int64 `json:"instructions"`
+	AllocWords   int64 `json:"alloc_words"`
+	LogWrites    int64 `json:"log_writes"`
+	HeaderChecks int64 `json:"header_checks"`
+	CopyWords    int64 `json:"copy_words"`
+	ScanWords    int64 `json:"scan_words"`
+	LogScans     int64 `json:"log_scans"`
+	LogReapplies int64 `json:"log_reapplies"`
+	RootUpdates  int64 `json:"root_updates"`
+	FlipEntries  int64 `json:"flip_entries"`
+}
+
+// vector lays the counts out in paramNames order.
+func (c Counts) vector() [nParams]float64 {
+	return [nParams]float64{
+		float64(c.Instructions), float64(c.AllocWords), float64(c.LogWrites),
+		float64(c.HeaderChecks), float64(c.CopyWords), float64(c.ScanWords),
+		float64(c.LogScans), float64(c.LogReapplies), float64(c.RootUpdates),
+		float64(c.FlipEntries),
+	}
+}
+
+// Row is one measured specimen: a (workload, configuration) pair or a
+// micro-probe, with its wall time, simulated time, and work counts.
+type Row struct {
+	Name     string           `json:"name"`
+	Workload string           `json:"workload"`
+	Config   bench.ConfigName `json:"config"`
+	Reps     int              `json:"reps"`
+	WallNs   int64            `json:"wall_ns"`
+	SimNs    int64            `json:"sim_ns"`
+	Counts   Counts           `json:"counts"`
+}
+
+// FitStats summarises how well a model explains a set of rows.
+type FitStats struct {
+	Rows    int     `json:"rows"`
+	MAPEPct float64 `json:"mape_pct"`
+	Pearson float64 `json:"pearson"`
+}
+
+// WorkloadFit is the per-workload sim-vs-wall agreement: the least-squares
+// scalar mapping simulated to wall nanoseconds across that workload's
+// configurations, and the error of that single-knob model.
+type WorkloadFit struct {
+	Workload    string  `json:"workload"`
+	Rows        int     `json:"rows"`
+	ScaleFactor float64 `json:"scale_factor"`
+	MAPEPct     float64 `json:"mape_pct"`
+	Pearson     float64 `json:"pearson"`
+}
+
+// Report is the calibration artifact (schema repligc-calib/1).
+type Report struct {
+	Schema    string `json:"schema"`
+	ScaleName string `json:"scale"`
+	Reps      int    `json:"reps"`
+
+	Rows []Row `json:"rows"`
+
+	// DefaultNs restates simtime.Default1993 for side-by-side reading;
+	// FittedNs is this machine's fit, pluggable back in via simtime.Fitted.
+	DefaultNs simtime.FittedNs `json:"default_ns"`
+	FittedNs  simtime.FittedNs `json:"fitted_ns"`
+
+	FittedCopyRateBytesPerSec   float64 `json:"fitted_copy_rate_bytes_per_sec"`
+	FittedReplayRateBytesPerSec float64 `json:"fitted_replay_rate_bytes_per_sec"`
+
+	// Fit is the fitted model's error over all rows; Workloads is the
+	// simpler one-scalar sim-vs-wall agreement per workload.
+	Fit       FitStats      `json:"fit"`
+	Workloads []WorkloadFit `json:"workloads"`
+}
+
+// ------------------------------------------------------------ measurement
+
+// stopwatch starts a wall-clock timer and returns a function reporting the
+// nanoseconds elapsed since the call. It is the only wall-clock read in the
+// package; everything else handles the resulting integers.
+//
+//gclint:wallclock calibration fits the simulated cost model against real elapsed time
+func stopwatch() func() int64 {
+	start := time.Now()
+	return func() int64 { return int64(time.Since(start)) }
+}
+
+// spec is one specimen to measure.
+type spec struct {
+	name     string
+	workload string
+	config   bench.ConfigName
+	build    func() (*bench.Runtime, error)
+	body     func(rt *bench.Runtime) error
+}
+
+// measure runs s cfg.Reps times and returns its row: minimum wall time
+// across repetitions, simulated time and counts from the final repetition
+// (the simulated side is deterministic, so every repetition agrees).
+func measure(s spec, reps int) (Row, error) {
+	row := Row{Name: s.name, Workload: s.workload, Config: s.config, Reps: reps}
+	for rep := 0; rep < reps; rep++ {
+		rt, err := s.build()
+		if err != nil {
+			return row, fmt.Errorf("calib: build %s: %w", s.name, err)
+		}
+		elapsed := stopwatch()
+		err = s.body(rt)
+		wall := elapsed()
+		if err != nil {
+			return row, fmt.Errorf("calib: run %s: %w", s.name, err)
+		}
+		if rep == 0 || wall < row.WallNs {
+			row.WallNs = wall
+		}
+		m := rt.Mutator
+		row.SimNs = int64(m.Clock.Now())
+		row.Counts = countsFrom(m.Clock.Breakdown(), *rt.GC.Stats(), m.LogWrites, m.Cost)
+	}
+	return row, nil
+}
+
+// countsFrom decomposes the per-account simulated-time breakdown back into
+// primitive counts. Valid because every account is charged in exact
+// multiples of its cost constants: the pure accounts divide directly, and
+// the two mixed accounts (minor/major copy = CopyWord + ScanWord, flip =
+// FlipEntry + RootUpdate) split using the collector's own volume counters.
+func countsFrom(br [simtime.NumAccounts]simtime.Duration, st core.GCStats, logWrites int64, cost simtime.CostModel) Counts {
+	units := func(total, per simtime.Duration) int64 {
+		if per <= 0 || total <= 0 {
+			return 0
+		}
+		return int64((total + per/2) / per)
+	}
+	copyWords := st.TotalBytesCopied() / heap.BytesPerWord
+	scanNs := br[simtime.AcctMinorCopy] + br[simtime.AcctMajorCopy] -
+		simtime.Duration(copyWords)*cost.CopyWord
+	flipRootNs := br[simtime.AcctFlip] - simtime.Duration(st.FlipEntryUpdates)*cost.FlipEntry
+	return Counts{
+		Instructions: units(br[simtime.AcctMutator], cost.Instruction),
+		AllocWords:   units(br[simtime.AcctAlloc], cost.AllocWord),
+		LogWrites:    logWrites,
+		HeaderChecks: units(br[simtime.AcctHeaderCheck], cost.HeaderCheck),
+		CopyWords:    copyWords,
+		ScanWords:    units(scanNs, cost.ScanWord),
+		LogScans:     st.LogScanned,
+		LogReapplies: st.LogReapplied,
+		RootUpdates:  units(br[simtime.AcctRootScan], cost.RootUpdate) + units(flipRootNs, cost.RootUpdate),
+		FlipEntries:  st.FlipEntryUpdates,
+	}
+}
+
+// ---------------------------------------------------------------- specimens
+
+// workloadConfigs are the collector configurations each workload runs under.
+// They span the count space: rt and rt-lazy exercise the incremental replay
+// machinery, minor-inc shifts the copy/scan mix, and sc-mods is the
+// stop-and-copy path with full logging.
+var workloadConfigs = []bench.ConfigName{
+	bench.CfgRT, bench.CfgRTLazy, bench.CfgMinorInc, bench.CfgSCMods,
+}
+
+func (cfg Config) workloadSpecs() []spec {
+	params := bench.PaperParams()[0]
+	workloads := []bench.Workload{
+		bench.Primes(cfg.Scale), bench.Sort(cfg.Scale), bench.Comp(cfg.Scale),
+	}
+	var specs []spec
+	for _, w := range workloads {
+		for _, cn := range workloadConfigs {
+			w, cn := w, cn
+			specs = append(specs, spec{
+				name:     fmt.Sprintf("%s/%s", w.Name(), cn),
+				workload: w.Name(),
+				config:   cn,
+				build: func() (*bench.Runtime, error) {
+					return bench.NewRuntime(bench.RunConfig{
+						Config:       cn,
+						Params:       params,
+						OldSemiBytes: cfg.OldSemiBytes,
+					})
+				},
+				body: func(rt *bench.Runtime) error {
+					if _, err := w.Run(rt.Mutator); err != nil {
+						return err
+					}
+					return rt.GC.FinishCycles(rt.Mutator)
+				},
+			})
+		}
+	}
+	return specs
+}
+
+// rootFunc adapts a function to core.RootSource for the probes.
+type rootFunc func(core.RootVisitor)
+
+func (f rootFunc) VisitRoots(v core.RootVisitor) { f(v) }
+
+// probeParams keeps probe heaps small: the probes measure per-primitive
+// costs, not capacity.
+func (cfg Config) probeRunConfig() bench.RunConfig {
+	old := cfg.OldSemiBytes
+	if old == 0 || old > 16<<20 {
+		old = 16 << 20
+	}
+	return bench.RunConfig{
+		Config: bench.CfgRT,
+		Params: bench.Params{
+			OBytes: 4 << 20,
+			NBytes: 256 << 10,
+			LBytes: 16 << 10,
+		},
+		OldSemiBytes: old,
+	}
+}
+
+// probeSpecs are hand-rolled single-primitive loops. Their count vectors are
+// far from the workloads' (a pure allocator, a pure logger, a replay-heavy
+// mutator, a root-heavy retainer), which is what conditions the least-squares
+// system well enough to separate the collinear constants.
+func (cfg Config) probeSpecs() []spec {
+	ops := cfg.ProbeOps
+	build := func() (*bench.Runtime, error) { return bench.NewRuntime(cfg.probeRunConfig()) }
+	buildNaive := func() (*bench.Runtime, error) {
+		rc := cfg.probeRunConfig()
+		rc.NaiveBarrier = true
+		return bench.NewRuntime(rc)
+	}
+	return []spec{
+		{
+			// Allocation-dominated: short-lived records, nothing retained.
+			name: "probe-alloc", workload: "probes", config: bench.CfgRT,
+			build: build,
+			body: func(rt *bench.Runtime) error {
+				m := rt.Mutator
+				for i := 0; i < ops; i++ {
+					p, err := m.Alloc(heap.KindRecord, 2)
+					if err != nil {
+						return err
+					}
+					m.Init(p, 0, heap.FromInt(int64(i)))
+				}
+				return rt.GC.FinishCycles(m)
+			},
+		},
+		{
+			// Log-write-dominated: naive barrier, old-space stores, no
+			// allocation (so no collections).
+			name: "probe-barrier", workload: "probes", config: bench.CfgRT,
+			build: buildNaive,
+			body: func(rt *bench.Runtime) error {
+				m := rt.Mutator
+				//gclint:allow barrier -- probe fixture: plants one old-space array without perturbing the allocation counters under measurement
+				arr, ok := m.H.AllocIn(m.H.OldFrom(), heap.KindArray, 64)
+				if !ok {
+					return fmt.Errorf("probe-barrier: old-space alloc failed")
+				}
+				for i := 0; i < ops; i++ {
+					m.Set(arr, i%64, heap.FromInt(int64(i)))
+					if i%4096 == 0 {
+						m.Log.TrimTo(m.Log.Len())
+					}
+				}
+				return rt.GC.FinishCycles(m)
+			},
+		},
+		{
+			// Replay-dominated: long-lived refs mutated between the pauses
+			// of incremental cycles, forcing log scans and reapplies.
+			name: "probe-replay", workload: "probes", config: bench.CfgRT,
+			build: build,
+			body: func(rt *bench.Runtime) error {
+				m := rt.Mutator
+				refs := make([]heap.Value, 16)
+				for i := range refs {
+					r, err := m.Alloc(heap.KindRef, 1)
+					if err != nil {
+						return err
+					}
+					m.Init(r, 0, heap.FromInt(0))
+					refs[i] = r
+				}
+				keep := make([]heap.Value, 512)
+				m.Roots.Register(rootFunc(func(v core.RootVisitor) {
+					for i := range refs {
+						v(&refs[i])
+					}
+					for i := range keep {
+						v(&keep[i])
+					}
+				}))
+				for i := 0; i < ops; i++ {
+					m.Set(refs[i%16], 0, heap.FromInt(int64(i)))
+					if i%4 == 0 {
+						p, err := m.Alloc(heap.KindRecord, 30)
+						if err != nil {
+							return err
+						}
+						if i%16 == 0 {
+							keep[(i/16)%512] = p
+						}
+					}
+				}
+				return rt.GC.FinishCycles(m)
+			},
+		},
+		{
+			// Root-dominated: a large retained root table scanned and
+			// re-pointed by every collection.
+			name: "probe-roots", workload: "probes", config: bench.CfgRT,
+			build: build,
+			body: func(rt *bench.Runtime) error {
+				m := rt.Mutator
+				keep := make([]heap.Value, 4096)
+				m.Roots.Register(rootFunc(func(v core.RootVisitor) {
+					for i := range keep {
+						v(&keep[i])
+					}
+				}))
+				for i := 0; i < ops; i++ {
+					p, err := m.Alloc(heap.KindRecord, 6)
+					if err != nil {
+						return err
+					}
+					if i%8 == 0 {
+						keep[(i/8)%4096] = p
+					}
+				}
+				return rt.GC.FinishCycles(m)
+			},
+		},
+	}
+}
+
+// --------------------------------------------------------------------- Run
+
+// Run executes the calibration suite under cfg and returns the artifact.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Scale == (bench.Scale{}) {
+		cfg.Scale = bench.DefaultScale()
+		if cfg.ScaleName == "" {
+			cfg.ScaleName = "default"
+		}
+	}
+	if cfg.ScaleName == "" {
+		cfg.ScaleName = "custom"
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 3
+	}
+	if cfg.ProbeOps <= 0 {
+		cfg.ProbeOps = 200000
+	}
+
+	specs := append(cfg.workloadSpecs(), cfg.probeSpecs()...)
+	rows := make([]Row, 0, len(specs))
+	for _, s := range specs {
+		row, err := measure(s, cfg.Reps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+
+	beta, err := fitRidge(rows, 1e-6)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Schema:    Schema,
+		ScaleName: cfg.ScaleName,
+		Reps:      cfg.Reps,
+		Rows:      rows,
+		DefaultNs: simtime.Default1993().Ns(),
+		FittedNs: simtime.FittedNs{
+			InstructionNs: beta[0], AllocWordNs: beta[1], LogWriteNs: beta[2],
+			HeaderCheckNs: beta[3], CopyWordNs: beta[4], ScanWordNs: beta[5],
+			LogScanNs: beta[6], LogReapplyNs: beta[7], RootUpdateNs: beta[8],
+			FlipEntryNs: beta[9],
+		},
+	}
+	model := simtime.Fitted(rep.FittedNs)
+	rep.FittedCopyRateBytesPerSec = model.CopyRateBytesPerSec()
+	rep.FittedReplayRateBytesPerSec = model.ReplayRateBytesPerSec()
+
+	pred := make([]float64, len(rows))
+	wall := make([]float64, len(rows))
+	sim := make([]float64, len(rows))
+	for i, r := range rows {
+		pred[i] = predict(beta, r.Counts)
+		wall[i] = float64(r.WallNs)
+		sim[i] = float64(r.SimNs)
+	}
+	rep.Fit = FitStats{Rows: len(rows), MAPEPct: mape(pred, wall), Pearson: pearson(pred, wall)}
+
+	// Per-workload single-scalar agreement, in first-seen order (the row
+	// order is deterministic, so the report is too).
+	var order []string
+	byW := map[string][]int{}
+	for i, r := range rows {
+		if _, ok := byW[r.Workload]; !ok {
+			order = append(order, r.Workload)
+		}
+		byW[r.Workload] = append(byW[r.Workload], i)
+	}
+	for _, w := range order {
+		idx := byW[w]
+		ws := make([]float64, len(idx))
+		ww := make([]float64, len(idx))
+		for j, i := range idx {
+			ws[j] = sim[i]
+			ww[j] = wall[i]
+		}
+		a := scaleFactor(ws, ww)
+		scaled := make([]float64, len(ws))
+		for j := range ws {
+			scaled[j] = a * ws[j]
+		}
+		rep.Workloads = append(rep.Workloads, WorkloadFit{
+			Workload: w, Rows: len(idx), ScaleFactor: a,
+			MAPEPct: mape(scaled, ww), Pearson: pearson(ws, ww),
+		})
+	}
+	return rep, nil
+}
+
+// ---------------------------------------------------------------- Validate
+
+// Validate checks the structural invariants of a calibration artifact: the
+// wall-clock magnitudes are machine-dependent, so it checks shape and sanity,
+// never absolute speed.
+func Validate(r *Report) error {
+	if r.Schema != Schema {
+		return fmt.Errorf("calib: schema %q, want %q", r.Schema, Schema)
+	}
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("calib: no rows")
+	}
+	seen := map[string]bool{}
+	for _, row := range r.Rows {
+		if row.WallNs <= 0 {
+			return fmt.Errorf("calib: row %s has non-positive wall time %d", row.Name, row.WallNs)
+		}
+		if row.SimNs <= 0 {
+			return fmt.Errorf("calib: row %s has non-positive simulated time %d", row.Name, row.SimNs)
+		}
+		seen[row.Workload] = true
+	}
+	for _, w := range []string{"Primes", "Sort", "Comp"} {
+		if !seen[w] {
+			return fmt.Errorf("calib: workload %s missing from rows", w)
+		}
+	}
+	finite := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("calib: %s = %v, want finite and non-negative", name, v)
+		}
+		return nil
+	}
+	f := r.FittedNs
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"instruction_ns", f.InstructionNs}, {"alloc_word_ns", f.AllocWordNs},
+		{"log_write_ns", f.LogWriteNs}, {"header_check_ns", f.HeaderCheckNs},
+		{"copy_word_ns", f.CopyWordNs}, {"scan_word_ns", f.ScanWordNs},
+		{"log_scan_ns", f.LogScanNs}, {"log_reapply_ns", f.LogReapplyNs},
+		{"root_update_ns", f.RootUpdateNs}, {"flip_entry_ns", f.FlipEntryNs},
+	} {
+		if err := finite("fitted "+c.name, c.v); err != nil {
+			return err
+		}
+	}
+	if err := finite("fit mape_pct", r.Fit.MAPEPct); err != nil {
+		return err
+	}
+	if r.Fit.Pearson < -1 || r.Fit.Pearson > 1 || math.IsNaN(r.Fit.Pearson) {
+		return fmt.Errorf("calib: fit pearson = %v, want within [-1, 1]", r.Fit.Pearson)
+	}
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("calib: no per-workload fits")
+	}
+	for _, w := range r.Workloads {
+		if err := finite(w.Workload+" mape_pct", w.MAPEPct); err != nil {
+			return err
+		}
+		if err := finite(w.Workload+" scale_factor", w.ScaleFactor); err != nil {
+			return err
+		}
+		if w.Pearson < -1 || w.Pearson > 1 || math.IsNaN(w.Pearson) {
+			return fmt.Errorf("calib: %s pearson = %v, want within [-1, 1]", w.Workload, w.Pearson)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"repligc/internal/bench"
+	"repligc/internal/simtime"
+)
+
+// synthRow builds a row whose wall time is exactly the model's prediction.
+func synthRow(name string, truth [nParams]float64, c Counts) Row {
+	return Row{Name: name, Workload: "synth", Config: bench.CfgRT,
+		WallNs: int64(predict(truth, c)), SimNs: 1, Counts: c}
+}
+
+// TestFitRecoversExactModel feeds the solver rows generated from a known
+// model with well-separated count vectors and checks the constants come back.
+func TestFitRecoversExactModel(t *testing.T) {
+	truth := [nParams]float64{80, 120, 400, 40, 2000, 1800, 1000, 4000, 900, 3500}
+	rows := []Row{
+		synthRow("a", truth, Counts{Instructions: 1e6, AllocWords: 2e5, HeaderChecks: 5e4}),
+		synthRow("b", truth, Counts{Instructions: 3e5, LogWrites: 4e5, HeaderChecks: 4e5}),
+		synthRow("c", truth, Counts{CopyWords: 2e5, ScanWords: 1e5, Instructions: 1e4}),
+		synthRow("d", truth, Counts{CopyWords: 5e4, ScanWords: 4e5, LogScans: 3e4}),
+		synthRow("e", truth, Counts{LogScans: 2e5, LogReapplies: 1e5, LogWrites: 5e4}),
+		synthRow("f", truth, Counts{RootUpdates: 3e5, FlipEntries: 1e5, Instructions: 2e4}),
+		synthRow("g", truth, Counts{RootUpdates: 5e4, FlipEntries: 4e5, AllocWords: 1e5}),
+		synthRow("h", truth, Counts{AllocWords: 6e5, Instructions: 1e5, CopyWords: 2e4}),
+		synthRow("i", truth, Counts{LogReapplies: 4e5, LogWrites: 2e5, ScanWords: 1e4}),
+		synthRow("j", truth, Counts{HeaderChecks: 7e5, LogWrites: 1e5, RootUpdates: 2e4}),
+		synthRow("k", truth, Counts{Instructions: 5e5, AllocWords: 5e5, CopyWords: 1e5,
+			ScanWords: 1e5, LogScans: 1e5, LogReapplies: 1e5, RootUpdates: 1e5,
+			FlipEntries: 1e5, LogWrites: 1e5, HeaderChecks: 1e5}),
+	}
+	beta, err := fitRidge(rows, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		rel := math.Abs(beta[i]-truth[i]) / truth[i]
+		if rel > 0.01 {
+			t.Errorf("%s: fitted %.1f, want %.1f (rel err %.3f)", paramNames[i], beta[i], truth[i], rel)
+		}
+	}
+}
+
+// TestFitClampsNegatives checks a collinear system yields no negative costs.
+func TestFitClampsNegatives(t *testing.T) {
+	truth := [nParams]float64{80, 120, 400, 40, 2000, 1800, 1000, 4000, 900, 3500}
+	// Copy and scan words move in lockstep: the individual constants are
+	// unidentifiable, but the fit must still be non-negative and solvable.
+	rows := []Row{
+		synthRow("a", truth, Counts{CopyWords: 1e5, ScanWords: 1e5}),
+		synthRow("b", truth, Counts{CopyWords: 2e5, ScanWords: 2e5}),
+		synthRow("c", truth, Counts{CopyWords: 3e5, ScanWords: 3e5}),
+	}
+	beta, err := fitRidge(rows, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range beta {
+		if b < 0 {
+			t.Errorf("%s: negative fitted cost %v", paramNames[i], b)
+		}
+	}
+}
+
+func TestFitNoRows(t *testing.T) {
+	if _, err := fitRidge(nil, 1e-6); err == nil {
+		t.Fatal("fit on zero rows should fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	if m := mape([]float64{110, 90}, []float64{100, 100}); math.Abs(m-10) > 1e-9 {
+		t.Errorf("mape = %v, want 10", m)
+	}
+	if p := pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(p-1) > 1e-12 {
+		t.Errorf("pearson = %v, want 1", p)
+	}
+	if p := pearson([]float64{1, 1, 1}, []float64{2, 4, 6}); p != 0 {
+		t.Errorf("pearson of constant series = %v, want 0", p)
+	}
+	if a := scaleFactor([]float64{1, 2}, []float64{3, 6}); math.Abs(a-3) > 1e-12 {
+		t.Errorf("scaleFactor = %v, want 3", a)
+	}
+}
+
+// validReport builds a minimal artifact that passes Validate.
+func validReport() *Report {
+	rows := []Row{
+		{Name: "Primes/rt", Workload: "Primes", Config: bench.CfgRT, WallNs: 100, SimNs: 200},
+		{Name: "Sort/rt", Workload: "Sort", Config: bench.CfgRT, WallNs: 100, SimNs: 200},
+		{Name: "Comp/rt", Workload: "Comp", Config: bench.CfgRT, WallNs: 100, SimNs: 200},
+	}
+	return &Report{
+		Schema: Schema, ScaleName: "quick", Reps: 1, Rows: rows,
+		DefaultNs: simtime.Default1993().Ns(),
+		FittedNs:  simtime.FittedNs{InstructionNs: 1},
+		Fit:       FitStats{Rows: 3, MAPEPct: 5, Pearson: 0.99},
+		Workloads: []WorkloadFit{{Workload: "Primes", Rows: 1, ScaleFactor: 0.5, MAPEPct: 1, Pearson: 1}},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := Validate(validReport()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Report)
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "repligc-calib/0" }},
+		{"no rows", func(r *Report) { r.Rows = nil }},
+		{"missing workload", func(r *Report) { r.Rows = r.Rows[:2] }},
+		{"zero wall", func(r *Report) { r.Rows[0].WallNs = 0 }},
+		{"zero sim", func(r *Report) { r.Rows[1].SimNs = 0 }},
+		{"negative fitted", func(r *Report) { r.FittedNs.CopyWordNs = -1 }},
+		{"nan fitted", func(r *Report) { r.FittedNs.ScanWordNs = math.NaN() }},
+		{"bad pearson", func(r *Report) { r.Fit.Pearson = 1.5 }},
+		{"nan mape", func(r *Report) { r.Fit.MAPEPct = math.NaN() }},
+		{"no workload fits", func(r *Report) { r.Workloads = nil }},
+		{"bad workload pearson", func(r *Report) { r.Workloads[0].Pearson = -2 }},
+	}
+	for _, c := range cases {
+		r := validReport()
+		c.mut(r)
+		if err := Validate(r); err == nil {
+			t.Errorf("%s: Validate accepted a bad report", c.name)
+		}
+	}
+}
+
+// TestRunQuickSmoke runs the whole harness at a tiny scale and validates the
+// artifact it produces end to end.
+func TestRunQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration smoke is seconds-long")
+	}
+	rep, err := Run(Config{
+		Scale:        bench.QuickScale(),
+		ScaleName:    "quick",
+		Reps:         1,
+		ProbeOps:     20000,
+		OldSemiBytes: 16 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(rep); err != nil {
+		t.Fatal(err)
+	}
+	// The fitted model must be pluggable back into the simulator.
+	model := simtime.Fitted(rep.FittedNs)
+	clock := simtime.NewClock()
+	clock.Charge(simtime.AcctMinorCopy, 10*model.CopyWord)
+	if model.CopyWord > 0 && clock.Now() <= 0 {
+		t.Fatal("fitted model does not charge")
+	}
+	// Counts must reflect real work: every workload row allocated and the
+	// replay probe reapplied log entries.
+	var reapplies int64
+	for _, row := range rep.Rows {
+		if row.Workload != "probes" && row.Counts.AllocWords == 0 {
+			t.Errorf("row %s: zero alloc words", row.Name)
+		}
+		if row.Name == "probe-replay" {
+			reapplies = row.Counts.LogReapplies
+		}
+	}
+	if reapplies == 0 {
+		t.Error("probe-replay reapplied no log entries")
+	}
+}

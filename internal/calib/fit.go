@@ -1,0 +1,177 @@
+package calib
+
+// Least-squares machinery for fitting the simulated cost model to wall-clock
+// measurements. Pure arithmetic: nothing here reads a clock of any kind.
+
+import (
+	"fmt"
+	"math"
+)
+
+// nParams is the number of fitted cost constants, in the fixed order of
+// paramNames (which mirrors simtime.CostModel's fields).
+const nParams = 10
+
+// paramNames are the design-matrix columns, index-aligned with the count
+// vectors produced by countsOf.
+var paramNames = [nParams]string{
+	"instruction", "alloc_word", "log_write", "header_check",
+	"copy_word", "scan_word", "log_scan", "log_reapply",
+	"root_update", "flip_entry",
+}
+
+// fitRidge solves min ||X b - y||^2 + lambda ||b||^2 by the normal
+// equations, then clamps negative coefficients to zero. The ridge term keeps
+// the system solvable when counts are collinear (copy and scan words move
+// together on every workload); lambda is scaled by the trace of X'X so its
+// strength is independent of the measurement units.
+func fitRidge(rows []Row, lambda float64) ([nParams]float64, error) {
+	var beta [nParams]float64
+	if len(rows) == 0 {
+		return beta, fmt.Errorf("calib: no rows to fit")
+	}
+	// Normal equations: A = X'X + lambda*scale*I, v = X'y.
+	var a [nParams][nParams]float64
+	var v [nParams]float64
+	for _, r := range rows {
+		x := r.Counts.vector()
+		for i := 0; i < nParams; i++ {
+			if x[i] == 0 {
+				continue
+			}
+			v[i] += x[i] * float64(r.WallNs)
+			for j := 0; j < nParams; j++ {
+				a[i][j] += x[i] * x[j]
+			}
+		}
+	}
+	trace := 0.0
+	for i := 0; i < nParams; i++ {
+		trace += a[i][i]
+	}
+	ridge := lambda * trace / nParams
+	if ridge <= 0 {
+		ridge = 1e-9 * trace / nParams
+	}
+	for i := 0; i < nParams; i++ {
+		a[i][i] += ridge
+	}
+	sol, err := solve(a, v)
+	if err != nil {
+		return beta, err
+	}
+	for i, b := range sol {
+		if b < 0 {
+			b = 0 // a negative per-unit cost is a collinearity artifact
+		}
+		beta[i] = b
+	}
+	return beta, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on the (small,
+// symmetric positive-definite after the ridge) normal-equation system.
+func solve(a [nParams][nParams]float64, v [nParams]float64) ([nParams]float64, error) {
+	var x [nParams]float64
+	for col := 0; col < nParams; col++ {
+		pivot := col
+		for r := col + 1; r < nParams; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-30 {
+			return x, fmt.Errorf("calib: singular normal equations at column %s", paramNames[col])
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		v[col], v[pivot] = v[pivot], v[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < nParams; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < nParams; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+	for i := nParams - 1; i >= 0; i-- {
+		s := v[i]
+		for j := i + 1; j < nParams; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}
+
+// predict evaluates the fitted model on one row's counts.
+func predict(beta [nParams]float64, c Counts) float64 {
+	x := c.vector()
+	s := 0.0
+	for i := 0; i < nParams; i++ {
+		s += beta[i] * x[i]
+	}
+	return s
+}
+
+// mape is the mean absolute percentage error of pred against actual, in
+// percent; rows with a non-positive actual are skipped.
+func mape(pred, actual []float64) float64 {
+	n, s := 0, 0.0
+	for i := range actual {
+		if actual[i] <= 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-actual[i]) / actual[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * s / float64(n)
+}
+
+// pearson is the sample correlation coefficient of xs and ys; 0 when either
+// series is constant (no linear relationship is measurable).
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx <= 0 || syy <= 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// scaleFactor is the least-squares scalar a minimising ||a*sim - wall||^2,
+// the single-knob calibration "how many wall nanoseconds per simulated
+// nanosecond" used for the per-workload sim-vs-wall error.
+func scaleFactor(sim, wall []float64) float64 {
+	var sw, ss float64
+	for i := range sim {
+		sw += sim[i] * wall[i]
+		ss += sim[i] * sim[i]
+	}
+	if ss <= 0 {
+		return 0
+	}
+	return sw / ss
+}

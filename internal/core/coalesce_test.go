@@ -91,6 +91,61 @@ func TestCoalescedReplayBitIdentical(t *testing.T) {
 	}
 }
 
+// TestBatchedReplayBitIdentical is the hot-path property test: the replay
+// memo, block byte copies and batched scan accounting (the default) must
+// leave every observable identical to the naive entry-at-a-time paths
+// (Config.NaiveReplay) — same reachable-graph fingerprints at every
+// checkpoint, same shadow-model contents, and the same simulated clock down
+// to the per-account breakdown. The optimisations may only change how fast
+// the host executes the collector, never what the collector does.
+func TestBatchedReplayBitIdentical(t *testing.T) {
+	const (
+		steps       = 400
+		checkpoints = 25
+	)
+	for name, cfg := range coalesceConfigs() {
+		t.Run(name, func(t *testing.T) {
+			naiveCfg := cfg
+			naiveCfg.NaiveReplay = true
+			for seed := int64(1); seed <= 6; seed++ {
+				mNaive, _ := newRun(naiveCfg, core.LogAllMutations)
+				mOpt, _ := newRun(cfg, core.LogAllMutations)
+
+				dNaive := gctest.NewDriver(mNaive, seed)
+				dOpt := gctest.NewDriver(mOpt, seed)
+				for cp := 0; cp < checkpoints; cp++ {
+					if err := dNaive.Step(steps); err != nil {
+						t.Fatalf("seed %d naive replay: %v", seed, err)
+					}
+					if err := dOpt.Step(steps); err != nil {
+						t.Fatalf("seed %d batched replay: %v", seed, err)
+					}
+					fpN, fpO := dNaive.Fingerprint(), dOpt.Fingerprint()
+					if fpN != fpO {
+						t.Fatalf("seed %d checkpoint %d: fingerprints diverge (naive %#x, batched %#x)",
+							seed, cp, fpN, fpO)
+					}
+				}
+				if err := dNaive.Verify(); err != nil {
+					t.Fatalf("seed %d naive shadow check: %v", seed, err)
+				}
+				if err := dOpt.Verify(); err != nil {
+					t.Fatalf("seed %d batched shadow check: %v", seed, err)
+				}
+				if err := core.AuditHeap(mOpt); err != nil {
+					t.Fatalf("seed %d batched audit: %v", seed, err)
+				}
+				if got, want := mOpt.Clock.Now(), mNaive.Clock.Now(); got != want {
+					t.Fatalf("seed %d: simulated clocks diverge (batched %d, naive %d)", seed, got, want)
+				}
+				if got, want := mOpt.Clock.Breakdown(), mNaive.Clock.Breakdown(); got != want {
+					t.Fatalf("seed %d: simulated cost breakdowns diverge\nbatched %v\nnaive   %v", seed, got, want)
+				}
+			}
+		})
+	}
+}
+
 // TestCoalescingActuallyCoalesces guards against the property test passing
 // vacuously: on the torture workload the coalesced barrier must suppress a
 // visible fraction of the naive run's log appends.
@@ -111,6 +166,36 @@ func TestCoalescingActuallyCoalesces(t *testing.T) {
 	if mCoal.LogWrites >= mNaive.LogWrites {
 		t.Fatalf("coalesced run logged %d entries, naive %d; expected a reduction",
 			mCoal.LogWrites, mNaive.LogWrites)
+	}
+}
+
+// TestRootSlotsZeroAllocs asserts the allocation-free root enumeration: once
+// the reusable buffer has warmed to the root population's size, Slots()
+// performs zero Go allocations — unlike Visit, whose per-call closure
+// escapes. Also checks both enumerations agree on order and count.
+func TestRootSlotsZeroAllocs(t *testing.T) {
+	var rs core.RootSet
+	table := make([]heap.Value, 2048)
+	rs.Register(rootFunc(func(v core.RootVisitor) {
+		for i := range table {
+			v(&table[i])
+		}
+	}))
+
+	var visited []*heap.Value
+	n := rs.Visit(func(slot *heap.Value) { visited = append(visited, slot) })
+	slots := rs.Slots()
+	if n != len(table) || len(slots) != len(table) {
+		t.Fatalf("enumeration counts disagree: Visit %d, Slots %d, want %d", n, len(slots), len(table))
+	}
+	for i := range slots {
+		if slots[i] != visited[i] {
+			t.Fatalf("slot %d: Slots and Visit enumerate different pointers", i)
+		}
+	}
+
+	if a := testing.AllocsPerRun(200, func() { rs.Slots() }); a != 0 {
+		t.Fatalf("Slots allocates %.1f times per enumeration, want 0", a)
 	}
 }
 

@@ -51,6 +51,18 @@ type Config struct {
 	// entries never need reapplying at all. Off by default.
 	DeferMutableCopies bool
 
+	// NaiveReplay disables the wall-clock hot-path optimisations of the
+	// replay and scan machinery: the per-object forwarding memo that gives
+	// runs of same-target log entries one header check per group, the
+	// block copy() used to reapply logged byte ranges, and the batched
+	// budget accounting of the Cheney scans. All three are simulated-cost
+	// neutral (the clock is charged per entry, per word and per slot
+	// exactly as before), so a NaiveReplay run is bit-identical in
+	// simulated time and heap contents — which is what the differential
+	// property tests and the before/after wall-clock benchmarks rely on.
+	// Off by default.
+	NaiveReplay bool
+
 	// BoundedLogProcessing makes log processing respect the work limit L,
 	// resuming from the same cursor at the next pause. The paper's
 	// implementation processes the log non-incrementally and admits that
@@ -210,6 +222,24 @@ type Replicating struct {
 	//gclint:pauseonly dedup set for fixups; same pause-only lifecycle as the worklist it guards
 	fixupSeen       map[fixup]struct{} // dedup: a slot is queued once
 	forcedMajorFlip bool               // replay wants a major flip at the next minor flip
+
+	// Replay memo: consecutive log entries overwhelmingly target the same
+	// object (the barrier logs a dirtied array slot by slot), so the
+	// forwarding lookup — two arena reads and the space dispatch — is done
+	// once per run of same-object entries and cached here. A memo for an
+	// unforwarded object is only trusted while no copy has happened since
+	// (the stamp below), because any replication may forward it; a
+	// forwarded object's replica address is stable until the next flip,
+	// which resets the memo.
+
+	//gclint:pauseonly the memo is only consulted by log processing, which runs under pause
+	memoObj heap.Value // last log-entry target; Nil when the memo is empty
+	//gclint:pauseonly same pause-only lifecycle as memoObj
+	memoReplica heap.Value
+	//gclint:pauseonly same pause-only lifecycle as memoObj
+	memoFwd bool
+	//gclint:pauseonly total bytes copied when the memo was taken; detects forwarding installed since
+	memoStamp int64
 
 	replay    *policy.Cursor
 	finishing bool // inside FinishCycles: flips are not recorded
@@ -582,6 +612,57 @@ func (c *Replicating) overBudget(force bool) bool {
 	return !force && limit > 0 && c.pauseWork >= limit
 }
 
+// budgetSlots reports how many scan slots the current pause may still
+// process before overBudget would stop it: exactly ceil(remaining/word), so
+// a batch of this many per-word charges lands the cursor on the identical
+// slot a check-every-slot loop would stop at. A non-positive return means
+// the budget is already spent; unlimited budgets report maxInt.
+func (c *Replicating) budgetSlots(force bool) int {
+	limit := c.workLimit()
+	if force || limit <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	rem := limit - c.pauseWork
+	if rem <= 0 {
+		return 0
+	}
+	return int((rem + heap.BytesPerWord - 1) / heap.BytesPerWord)
+}
+
+// forwardingOf resolves the forwarding state of a log-entry target through
+// the replay memo: one header check per run of same-object entries instead
+// of one per entry. Under NaiveReplay the memo is bypassed and every call
+// reads the header, restoring the unbatched wall-clock behaviour (the
+// resolved state is identical either way).
+func (c *Replicating) forwardingOf(obj heap.Value) (replica heap.Value, fwd bool) {
+	if !c.cfg.NaiveReplay && obj == c.memoObj && obj != heap.Nil &&
+		(c.memoFwd || c.memoStamp == c.stats.BytesCopiedMinor+c.stats.BytesCopiedMajor) {
+		return c.memoReplica, c.memoFwd
+	}
+	h := c.h
+	fwd = h.IsForwarded(obj)
+	if fwd {
+		replica = h.ForwardAddr(obj)
+	}
+	if !c.cfg.NaiveReplay {
+		c.memoObj = obj
+		c.memoReplica = replica
+		c.memoFwd = fwd
+		c.memoStamp = c.stats.BytesCopiedMinor + c.stats.BytesCopiedMajor
+	}
+	return replica, fwd
+}
+
+// resetReplayMemo empties the memo. Flips are the moments forwarding words
+// disappear (the nursery resets, the old semispaces swap) and heap
+// addresses get reused, so every flip must drop the cache.
+func (c *Replicating) resetReplayMemo() {
+	c.memoObj = heap.Nil
+	c.memoReplica = heap.Nil
+	c.memoFwd = false
+	c.memoStamp = 0
+}
+
 // runMinorIncrement performs one increment of the minor collection and
 // reports whether the collection completed (including its flip). A typed
 // exhaustion error leaves the cycle active and resumable: every cursor
@@ -619,22 +700,24 @@ func (c *Replicating) runMinorIncrement(m *Mutator, force bool) (bool, error) {
 	aborted := false
 	var visitErr error
 	endPhase = c.phase(m, trace.PhaseRootScan)
-	n := m.Roots.Visit(func(slot *heap.Value) {
-		if aborted || visitErr != nil {
-			return
-		}
+	// Roots.Slots enumerates into a reusable buffer: no per-scan closure
+	// allocations, and the loop can stop the moment the budget runs out.
+	// Every slot is still charged (the root scan visits them all).
+	roots := m.Roots.Slots()
+	for _, slot := range roots {
 		v := *slot
 		if h.Nursery.Contains(v) {
 			if _, err := c.replicateMinor(m, v); err != nil {
 				visitErr = err
-				return
+				break
 			}
 			if c.overBudget(force) {
 				aborted = true
+				break
 			}
 		}
-	})
-	c.chargeRoots(m, n)
+	}
+	c.chargeRoots(m, len(roots))
 	endPhase()
 	if visitErr != nil {
 		return false, visitErr
@@ -761,15 +844,19 @@ func (c *Replicating) processMinorLog(m *Mutator, force bool) (bool, error) {
 // object up to date with one logged mutation.
 func (c *Replicating) reapplyMinor(m *Mutator, e LogEntry) error {
 	h := c.h
-	if !h.IsForwarded(e.Obj) {
+	replica, fwd := c.forwardingOf(e.Obj)
+	if !fwd {
 		return nil // not yet replicated; the copy will carry current contents
 	}
-	replica := h.ForwardAddr(e.Obj)
 	c.stats.LogReapplied++
 	m.Clock.Charge(simtime.AcctLogReapply, m.Cost.LogReapply)
 	if e.Byte {
-		for i := int32(0); i < e.Len; i++ {
-			h.StoreByte(replica, int(e.Slot+i), h.LoadByte(e.Obj, int(e.Slot+i)))
+		if c.cfg.NaiveReplay {
+			for i := int32(0); i < e.Len; i++ {
+				h.StoreByte(replica, int(e.Slot+i), h.LoadByte(e.Obj, int(e.Slot+i)))
+			}
+		} else {
+			h.CopyPayloadBytes(replica, e.Obj, int(e.Slot), int(e.Len))
 		}
 		return nil
 	}
@@ -1001,21 +1088,67 @@ func (c *Replicating) scanFresh(m *Mutator, force bool) (bool, error) {
 			m.Clock.Charge(simtime.AcctMinorCopy, m.Cost.ScanWord)
 		}
 		i := c.scanSlot
-		for ; i < hdr.Len(); i++ {
-			if c.overBudget(force) {
-				c.scanSlot = i
-				return false, nil
+		if c.cfg.NaiveReplay {
+			for ; i < hdr.Len(); i++ {
+				if c.overBudget(force) {
+					c.scanSlot = i
+					return false, nil
+				}
+				c.pauseWork += heap.BytesPerWord
+				m.Clock.Charge(simtime.AcctMinorCopy, m.Cost.ScanWord)
+				v := h.Load(p, i)
+				if h.Nursery.Contains(v) {
+					nv, err := c.minorValue(m, v, p, i)
+					if err != nil {
+						c.scanSlot = i // resume exactly at the failed slot
+						return false, err
+					}
+					h.Store(p, i, nv)
+				}
 			}
-			c.pauseWork += heap.BytesPerWord
-			m.Clock.Charge(simtime.AcctMinorCopy, m.Cost.ScanWord)
-			v := h.Load(p, i)
-			if h.Nursery.Contains(v) {
-				nv, err := c.minorValue(m, v, p, i)
+		} else {
+			// Batched accounting: runs of uninteresting slots are swept in
+			// a tight loop and charged in one go. The batch size is exactly
+			// the slot allowance the per-slot budget check would have
+			// granted, and any slot that triggers a copy ends its batch (a
+			// copy consumes budget too), so the cursor stops on the
+			// identical slot — simulated charges and heap contents are
+			// bit-equal to the NaiveReplay loop above.
+			for i < hdr.Len() {
+				n := c.budgetSlots(force)
+				if n == 0 {
+					c.scanSlot = i
+					return false, nil
+				}
+				if rem := hdr.Len() - i; n > rem {
+					n = rem
+				}
+				var v heap.Value
+				j := i
+				for ; j < i+n; j++ {
+					v = h.Load(p, j)
+					if h.Nursery.Contains(v) {
+						break
+					}
+				}
+				scanned := j - i
+				hit := j < i+n
+				if hit {
+					scanned++ // the interesting slot is charged too
+				}
+				c.pauseWork += int64(scanned) * heap.BytesPerWord
+				m.Clock.Charge(simtime.AcctMinorCopy, simtime.Duration(scanned)*m.Cost.ScanWord)
+				if !hit {
+					i = j
+					continue
+				}
+				nv, err := c.minorValue(m, v, p, j)
 				if err != nil {
-					c.scanSlot = i // resume exactly at the failed slot
+					c.scanSlot = j // resume exactly at the failed slot
 					return false, err
 				}
-				h.Store(p, i, nv)
+				h.Store(p, j, nv)
+				i = j + 1
 			}
 		}
 		c.scanSlot = 0
@@ -1067,23 +1200,67 @@ func (c *Replicating) scanMajor(m *Mutator, force bool) (bool, error) {
 			m.Clock.Charge(simtime.AcctMajorCopy, m.Cost.ScanWord)
 		}
 		i := c.majorScanSlot
-		for ; i < hdr.Len(); i++ {
-			if c.overBudget(force) {
-				c.majorScanSlot = i
-				return false, nil
+		if c.cfg.NaiveReplay {
+			for ; i < hdr.Len(); i++ {
+				if c.overBudget(force) {
+					c.majorScanSlot = i
+					return false, nil
+				}
+				c.pauseWork += heap.BytesPerWord
+				m.Clock.Charge(simtime.AcctMajorCopy, m.Cost.ScanWord)
+				v := h.Load(p, i)
+				if h.OldFrom().Contains(v) {
+					nv, err := c.toSpaceValue(m, v, p, i)
+					if err != nil {
+						c.majorScanSlot = i // resume at the failed slot
+						return false, err
+					}
+					if nv != v {
+						h.Store(p, i, nv)
+					}
+				}
 			}
-			c.pauseWork += heap.BytesPerWord
-			m.Clock.Charge(simtime.AcctMajorCopy, m.Cost.ScanWord)
-			v := h.Load(p, i)
-			if h.OldFrom().Contains(v) {
-				nv, err := c.toSpaceValue(m, v, p, i)
+		} else {
+			// Batched accounting, exactly as in scanFresh: uninteresting
+			// runs sweep in a tight loop with one charge, interesting slots
+			// end their batch so the budget reflects the copy they caused.
+			for i < hdr.Len() {
+				n := c.budgetSlots(force)
+				if n == 0 {
+					c.majorScanSlot = i
+					return false, nil
+				}
+				if rem := hdr.Len() - i; n > rem {
+					n = rem
+				}
+				var v heap.Value
+				j := i
+				for ; j < i+n; j++ {
+					v = h.Load(p, j)
+					if h.OldFrom().Contains(v) {
+						break
+					}
+				}
+				scanned := j - i
+				hit := j < i+n
+				if hit {
+					scanned++
+				}
+				c.pauseWork += int64(scanned) * heap.BytesPerWord
+				m.Clock.Charge(simtime.AcctMajorCopy, simtime.Duration(scanned)*m.Cost.ScanWord)
+				if !hit {
+					i = j
+					continue
+				}
+				nv, err := c.toSpaceValue(m, v, p, j)
 				if err != nil {
-					c.majorScanSlot = i // resume at the failed slot
+					c.majorScanSlot = j // resume at the failed slot
 					return false, err
 				}
 				if nv != v {
-					h.Store(p, i, nv)
+					h.Store(p, j, nv)
 				}
+				i = j + 1
 			}
 		}
 		c.majorScanSlot = 0
@@ -1139,7 +1316,8 @@ func (c *Replicating) minorFlip(m *Mutator) error {
 
 	// Update every mutator root; promoted replicas the roots now reference
 	// live in old-to, where an active major's cursor scans them by address.
-	n := m.Roots.Visit(func(slot *heap.Value) {
+	roots := m.Roots.Slots()
+	for _, slot := range roots {
 		v := *slot
 		if h.Nursery.Contains(v) {
 			if !h.IsForwarded(v) {
@@ -1148,16 +1326,18 @@ func (c *Replicating) minorFlip(m *Mutator) error {
 			}
 			*slot = h.ForwardAddr(v)
 		}
-	})
-	c.stats.RootSlotUpdates += int64(n)
-	m.Clock.Charge(simtime.AcctFlip, simtime.Duration(n)*m.Cost.RootUpdate)
+	}
+	c.stats.RootSlotUpdates += int64(len(roots))
+	m.Clock.Charge(simtime.AcctFlip, simtime.Duration(len(roots))*m.Cost.RootUpdate)
 
 	// Advance the minor cursor over anything the flip appended for the
 	// major collection: those entries are not nursery business.
 	c.minorLogCursor = m.Log.Len()
 
-	// Discard the nursery and grant the next cycle's allocation room.
+	// Discard the nursery and grant the next cycle's allocation room. The
+	// replay memo dies with it: nursery addresses are about to be reused.
 	h.Nursery.Reset()
+	c.resetReplayMemo()
 	promoted := c.stats.BytesCopiedMinor - c.minorStartCopy
 	c.promotedSinceMajor += promoted
 	if promoted > c.promoHighWater {
@@ -1324,22 +1504,21 @@ func (c *Replicating) runMajorIncrement(m *Mutator, force, postFlip bool) (bool,
 	aborted := false
 	var visitErr error
 	endPhase = c.phase(m, trace.PhaseRootScan)
-	n := m.Roots.Visit(func(slot *heap.Value) {
-		if aborted || visitErr != nil {
-			return
-		}
+	roots := m.Roots.Slots()
+	for _, slot := range roots {
 		v := *slot
 		if h.OldFrom().Contains(v) {
 			if _, err := c.replicateMajor(m, v); err != nil {
 				visitErr = err
-				return
+				break
 			}
 			if c.overBudget(force) {
 				aborted = true
+				break
 			}
 		}
-	})
-	c.chargeRoots(m, n)
+	}
+	c.chargeRoots(m, len(roots))
 	endPhase()
 	if visitErr != nil {
 		return false, visitErr
@@ -1419,10 +1598,10 @@ logLoop:
 
 		switch {
 		case h.OldFrom().Contains(e.Obj):
-			if !h.IsForwarded(e.Obj) {
+			replica, fwd := c.forwardingOf(e.Obj)
+			if !fwd {
 				continue // unreplicated: the copy will carry current contents
 			}
-			replica := h.ForwardAddr(e.Obj)
 			if !e.Byte {
 				v := h.Load(e.Obj, int(e.Slot))
 				if h.Nursery.Contains(v) {
@@ -1441,8 +1620,12 @@ logLoop:
 			c.stats.LogReapplied++
 			m.Clock.Charge(simtime.AcctLogReapply, m.Cost.LogReapply)
 			if e.Byte {
-				for i := int32(0); i < e.Len; i++ {
-					h.StoreByte(replica, int(e.Slot+i), h.LoadByte(e.Obj, int(e.Slot+i)))
+				if c.cfg.NaiveReplay {
+					for i := int32(0); i < e.Len; i++ {
+						h.StoreByte(replica, int(e.Slot+i), h.LoadByte(e.Obj, int(e.Slot+i)))
+					}
+				} else {
+					h.CopyPayloadBytes(replica, e.Obj, int(e.Slot), int(e.Len))
 				}
 				continue
 			}
@@ -1510,7 +1693,8 @@ func (c *Replicating) majorFlip(m *Mutator) error {
 	c.fixups = c.fixups[:0]
 	c.fixupSeen = nil
 
-	n := m.Roots.Visit(func(slot *heap.Value) {
+	roots := m.Roots.Slots()
+	for _, slot := range roots {
 		v := *slot
 		if h.OldFrom().Contains(v) {
 			if !h.IsForwarded(v) {
@@ -1519,11 +1703,12 @@ func (c *Replicating) majorFlip(m *Mutator) error {
 			}
 			*slot = h.ForwardAddr(v)
 		}
-	})
-	c.stats.RootSlotUpdates += int64(n)
-	m.Clock.Charge(simtime.AcctFlip, simtime.Duration(n)*m.Cost.RootUpdate)
+	}
+	c.stats.RootSlotUpdates += int64(len(roots))
+	m.Clock.Charge(simtime.AcctFlip, simtime.Duration(len(roots))*m.Cost.RootUpdate)
 
 	h.SwapOld()
+	c.resetReplayMemo() // old-from forwarding words just vanished
 	c.scan = h.OldFrom().Next
 	c.scanSlot = 0
 	c.skips = c.skips[:0]

@@ -16,6 +16,13 @@ type RootSource interface {
 // RootSet aggregates all registered root sources.
 type RootSet struct {
 	sources []RootSource
+
+	// buf and collect make Slots allocation-free: buf is reused across
+	// enumerations and collect is the one method value handed to every
+	// source (building a fresh closure per Visit call is what used to
+	// allocate on every root scan and flip).
+	buf     []*heap.Value
+	collect RootVisitor
 }
 
 // Register adds a root source.
@@ -33,6 +40,26 @@ func (r *RootSet) Visit(v RootVisitor) int {
 		s.VisitRoots(counting)
 	}
 	return n
+}
+
+func (r *RootSet) appendSlot(slot *heap.Value) { r.buf = append(r.buf, slot) }
+
+// Slots enumerates every root slot into a reusable buffer and returns it,
+// in the same source-registration order Visit uses. The returned slice is
+// owned by the RootSet and valid until the next Slots call, which is safe
+// for the collector's pause-time uses (root scans and flips never nest).
+// After the buffer has warmed to the root population's size, enumeration
+// performs zero Go allocations — unlike Visit, whose counting closure (and
+// any capturing visitor passed to it) escapes on every call.
+func (r *RootSet) Slots() []*heap.Value {
+	r.buf = r.buf[:0]
+	if r.collect == nil {
+		r.collect = r.appendSlot
+	}
+	for _, s := range r.sources {
+		s.VisitRoots(r.collect)
+	}
+	return r.buf
 }
 
 // Handle is a stable reference to a heap value for Go code. Go locals

@@ -191,6 +191,31 @@ func (h *Heap) SetBytes(p Value, b []byte) {
 	}
 }
 
+// CopyPayloadBytes copies n payload bytes starting at byte offset off from
+// src into the same offsets of dst — the block-copy path for reapplying a
+// logged byte-range mutation to a replica. The word-aligned body moves as a
+// single copy() over the arena; only the unaligned head and tail (at most
+// seven bytes each) fall back to byte stores, so the result is bit-identical
+// to a byte-at-a-time loop at memmove speed.
+func (h *Heap) CopyPayloadBytes(dst, src Value, off, n int) {
+	for n > 0 && off%BytesPerWord != 0 {
+		h.StoreByte(dst, off, h.LoadByte(src, off))
+		off++
+		n--
+	}
+	if words := uint64(n / BytesPerWord); words > 0 {
+		si := src.index() + uint64(off/BytesPerWord)
+		di := dst.index() + uint64(off/BytesPerWord)
+		copy(h.Arena[di:di+words], h.Arena[si:si+words])
+		off += int(words) * BytesPerWord
+		n -= int(words) * BytesPerWord
+	}
+	for ; n > 0; n-- {
+		h.StoreByte(dst, off, h.LoadByte(src, off))
+		off++
+	}
+}
+
 // CopyObject copies the object at src (whose descriptor must still be
 // intact) into space dst, returning the replica pointer. The original is
 // left untouched — installing the forwarding pointer is the caller's
