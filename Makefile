@@ -1,6 +1,6 @@
 # repligc — common tasks. Everything is stdlib-only and offline.
 
-.PHONY: all build lint test race bench bench-baseline bench-smoke calibrate calibrate-smoke crash-matrix trace microbench experiments quick-experiments examples clean
+.PHONY: all build lint test race bench bench-baseline bench-smoke serve-smoke calibrate calibrate-smoke crash-matrix trace microbench experiments quick-experiments examples clean
 
 all: build lint test
 
@@ -49,6 +49,16 @@ bench-smoke:
 	go run ./cmd/rtgc-bench -quick -out /tmp/bench_smoke.json -baseline BENCH_SMOKE.json perf
 	go run ./cmd/rtgc-bench validate /tmp/bench_smoke.json
 	go run ./cmd/rtgc-bench recover
+
+# CI's serving smoke: serve the committed spec (recording the materialised
+# trace), validate the report, replay the recorded trace, and require the
+# replayed report to be byte-identical — record/replay is exact or the build
+# fails.
+serve-smoke:
+	go run ./cmd/rtgc-bench -out /tmp/serve_smoke.json -record /tmp/serve_smoke.trace serve examples/serve/mixed.json
+	go run ./cmd/rtgc-bench servecheck /tmp/serve_smoke.json
+	go run ./cmd/rtgc-bench -out /tmp/serve_replay.json servereplay /tmp/serve_smoke.trace
+	cmp /tmp/serve_smoke.json /tmp/serve_replay.json
 
 # Fit the simulated cost model to this machine's wall clock: run the paper
 # workloads and the single-primitive probes uninstrumented, extract work

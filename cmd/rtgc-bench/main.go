@@ -15,6 +15,9 @@
 //	rtgc-bench tracecheck FILE
 //	rtgc-bench recover
 //	rtgc-bench [-out FILE] crashmatrix
+//	rtgc-bench [-out FILE] [-record FILE] serve SPECFILE
+//	rtgc-bench [-out FILE] servereplay TRACEFILE
+//	rtgc-bench servecheck FILE
 //
 // "perf" emits the performance trajectory (BENCH_PR8.json): per-workload
 // baseline-vs-coalesced-vs-checkpointed log and pause metrics in simulated
@@ -39,6 +42,15 @@
 // etc.). "tracecheck" validates a previously emitted Chrome trace's shape
 // (balanced B/E events, ordered timestamps) — the CI artifact check.
 //
+// "serve" runs the GC-under-live-traffic experiment (internal/workload): a
+// spec-driven open-loop request trace is materialised and served under the
+// naive-barrier and coalesced legs, producing the schema-5 serving report
+// (per-cohort latency tails, SLO breakdowns, queue stats, pause-intrusion
+// attribution, request-granularity MMU). With -record, the materialised
+// trace is also written as a fingerprinted artifact; "servereplay" serves
+// such an artifact bit-identically; "servecheck" validates a serving
+// report's shape — the CI artifact check.
+//
 // "recover" is the checkpoint-recovery smoke: a seeded run with the
 // incremental checkpoint writer attached, recovered from its own artifacts
 // with the fingerprint, audit and degradation ladder verified.
@@ -60,6 +72,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the small test-scale workloads")
 	out := flag.String("out", "", "write the perf report to this file instead of stdout")
 	baseline := flag.String("baseline", "", "gate a fresh perf report against this committed report (simulated elapsed and p95 pause)")
+	record := flag.String("record", "", "serve: also write the materialised trace artifact to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rtgc-bench [-quick] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "       rtgc-bench [-quick] [-out FILE] [-baseline FILE] perf\n")
@@ -70,13 +83,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "       rtgc-bench tracecheck FILE\n")
 		fmt.Fprintf(os.Stderr, "       rtgc-bench recover\n")
 		fmt.Fprintf(os.Stderr, "       rtgc-bench [-out FILE] crashmatrix\n")
+		fmt.Fprintf(os.Stderr, "       rtgc-bench [-out FILE] [-record FILE] serve SPECFILE\n")
+		fmt.Fprintf(os.Stderr, "       rtgc-bench [-out FILE] servereplay TRACEFILE\n")
+		fmt.Fprintf(os.Stderr, "       rtgc-bench servecheck FILE\n")
 		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 ablations all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	wantArgs := 1
 	switch {
-	case flag.NArg() > 0 && (flag.Arg(0) == "validate" || flag.Arg(0) == "tracecheck" || flag.Arg(0) == "calibcheck"):
+	case flag.NArg() > 0 && (flag.Arg(0) == "validate" || flag.Arg(0) == "tracecheck" || flag.Arg(0) == "calibcheck" ||
+		flag.Arg(0) == "serve" || flag.Arg(0) == "servereplay" || flag.Arg(0) == "servecheck"):
 		wantArgs = 2
 	case flag.NArg() == 2 && flag.Arg(0) == "trace":
 		wantArgs = 2 // optional workload selector
@@ -173,6 +190,12 @@ func main() {
 			return runCrashMatrix(*out)
 		case "validate":
 			return runValidate(flag.Arg(1))
+		case "serve":
+			return runServe(flag.Arg(1), *out, *record)
+		case "servereplay":
+			return runServeReplay(flag.Arg(1), *out)
+		case "servecheck":
+			return runServeCheck(flag.Arg(1))
 		case "calibrate":
 			return runCalibrate(*quick, *out)
 		case "calibcheck":

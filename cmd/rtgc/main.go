@@ -6,9 +6,13 @@
 // Usage:
 //
 //	rtgc [flags] program.ml
+//	rtgc -restore DIR
+//	rtgc [-gc C] -serve SPECFILE
 //
 // The collector flags mirror the paper's parameters: -gc selects the
-// configuration, -n/-o/-l set N, O and L in kilobytes.
+// configuration, -n/-o/-l set N, O and L in kilobytes. With -serve, no
+// program runs: the open-loop serving engine materialises the request spec
+// and prints its latency/SLO digest under the selected collector.
 package main
 
 import (
@@ -42,13 +46,18 @@ func main() {
 	traceSummary := flag.Bool("trace-summary", false, "print the trace digest (pause quantiles, MMU, phases) to stderr")
 	ckptDir := flag.String("checkpoint", "", "write crash-consistent incremental checkpoints to this directory (replicating collectors only)")
 	restoreDir := flag.String("restore", "", "recover the newest checkpoint from this directory, audit it, and print its summary (no program runs)")
+	serveSpec := flag.String("serve", "", "serve the open-loop request spec in this file under -gc and print the serving digest (no program runs)")
 	flag.Parse()
 	if *restoreDir != "" && flag.NArg() == 0 {
 		os.Exit(runRestore(*restoreDir))
 	}
+	if *serveSpec != "" && flag.NArg() == 0 {
+		os.Exit(runServeSpec(*serveSpec, *gcName))
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rtgc [flags] program.ml")
 		fmt.Fprintln(os.Stderr, "       rtgc -restore DIR")
+		fmt.Fprintln(os.Stderr, "       rtgc [-gc C] -serve SPECFILE")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

@@ -1,0 +1,59 @@
+package main
+
+// The -serve mode: instead of compiling a MiniML program, rtgc drives the
+// open-loop serving engine (internal/workload) over a request spec and
+// prints the serving digest — request latency tails, SLO breakdowns and
+// GC pause intrusion under the collector selected with -gc.
+
+import (
+	"fmt"
+	"os"
+
+	"repligc/internal/workload"
+)
+
+// serveCollector maps the rtgc -gc names onto the workload engine's
+// collector configurations. The engine runs whole-request service, so only
+// the configurations it models are accepted.
+func serveCollector(gcName string) (string, bool) {
+	switch gcName {
+	case "rt", "rt-lazy", "stop-copy-core", "sc":
+		return gcName, true
+	}
+	return "", false
+}
+
+// runServeSpec parses the spec, materialises its trace, and serves it under
+// the selected collector. Exit status 0 on success, 1 on any failure.
+//
+//gclint:io reads the workload spec file
+func runServeSpec(specPath, gcName string) int {
+	coll, ok := serveCollector(gcName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rtgc: -serve supports collectors %v, not %q\n",
+			workload.Collectors(), gcName)
+		return 2
+	}
+	raw, err := os.ReadFile(specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtgc: %v\n", err)
+		return 1
+	}
+	spec, err := workload.ParseSpec(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtgc: %v\n", err)
+		return 1
+	}
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtgc: %v\n", err)
+		return 1
+	}
+	sec, err := workload.RunLegs(tr, []workload.LegSpec{{Name: coll, Collector: coll}})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtgc: %v\n", err)
+		return 1
+	}
+	fmt.Print(workload.FormatSection(sec))
+	return 0
+}

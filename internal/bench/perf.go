@@ -21,6 +21,7 @@ import (
 	"repligc/internal/checkpoint"
 	"repligc/internal/simtime"
 	"repligc/internal/trace"
+	"repligc/internal/workload"
 )
 
 // PerfSchema identifies the report layout; bump on incompatible change.
@@ -30,7 +31,12 @@ import (
 // writer attached, measuring crash-consistency overhead. repligc-bench/4
 // added the hot-path wall-clock section (replay memo, block byte copies,
 // batched scan, allocation-free roots) with its simulated-identity proof.
-const PerfSchema = "repligc-bench/4"
+// repligc-bench/5 added the serving section (internal/workload): per-cohort
+// latency tails, SLO breakdowns and pause-intrusion attribution for the
+// naive and coalesced barriers serving identical open-loop traffic. The
+// constant aliases workload.ReportSchema so the two producers of the schema
+// cannot drift apart.
+const PerfSchema = workload.ReportSchema
 
 // PerfReport is the document serialised to BENCH_PR8.json.
 type PerfReport struct {
@@ -45,13 +51,19 @@ type PerfReport struct {
 	Barrier BarrierNsOp `json:"barrier_ns_per_op"`
 
 	// HotPaths holds the wall-clock before/after of the collector's
-	// raw-speed optimisations (schema repligc-bench/4), also measured in
+	// raw-speed optimisations (added in repligc-bench/4), also measured in
 	// cmd/rtgc-bench. "Before" is RunConfig.NaiveReplay — the same
 	// collector with the memo, block copies and batched scan disabled — so
 	// the pair differs only in implementation, never in simulated outcome.
 	HotPaths HotPathsNsOp `json:"hot_paths_ns_per_op"`
 
 	Workloads []PerfWorkload `json:"workloads"`
+
+	// Serving is the schema-5 section: the standard serving mix
+	// (DefaultServeSpec) under the naive-barrier and coalesced legs, with
+	// per-cohort latency percentiles, SLO breakdowns, queue stats,
+	// pause-intrusion attribution and request-granularity MMU.
+	Serving *workload.Section `json:"serving"`
 }
 
 // HotPathsNsOp is the wall-clock hot-path micro-benchmark section. Each
@@ -165,6 +177,7 @@ type PhaseTime struct {
 // perfLeg distils a Result plus its trace digest.
 func perfLeg(r *Result, a *trace.Analysis) PerfLeg {
 	copied := r.Stats.TotalBytesCopied()
+	q := simtime.Percentiles(r.Pauses.Durations(), 0, 50, 95, 100)
 	leg := PerfLeg{
 		ElapsedMs:       r.Elapsed.Milliseconds(),
 		BytesReplicated: copied,
@@ -174,10 +187,10 @@ func perfLeg(r *Result, a *trace.Analysis) PerfLeg {
 		NurserySkips:    r.BarrierFastSkips,
 		DirtySkips:      r.BarrierDirtySkips,
 		Pauses:          len(r.Pauses.Pauses),
-		PauseMinMs:      r.Pauses.Percentile(0).Milliseconds(),
-		PauseMedianMs:   r.Pauses.Percentile(50).Milliseconds(),
-		PauseP95Ms:      r.Pauses.Percentile(95).Milliseconds(),
-		PauseMaxMs:      r.Pauses.Max().Milliseconds(),
+		PauseMinMs:      q[0].Milliseconds(),
+		PauseMedianMs:   q[1].Milliseconds(),
+		PauseP95Ms:      q[2].Milliseconds(),
+		PauseMaxMs:      q[3].Milliseconds(),
 	}
 	if secs := r.Elapsed.Seconds(); secs > 0 {
 		leg.ReplicationMBps = float64(copied) / (1 << 20) / secs
@@ -298,6 +311,11 @@ func RunPerf(s Scale, scaleName string) (*PerfReport, error) {
 			Checkpoint:          section,
 		})
 	}
+	serving, err := RunServing(s)
+	if err != nil {
+		return nil, err
+	}
+	rep.Serving = serving
 	return rep, nil
 }
 
@@ -448,6 +466,12 @@ func ValidatePerf(data []byte) error {
 		if !want[name] {
 			return fmt.Errorf("perf report: workload %q missing", name)
 		}
+	}
+	if rep.Serving == nil {
+		return fmt.Errorf("perf report: serving section missing (schema %s requires it)", PerfSchema)
+	}
+	if err := rep.Serving.Check(); err != nil {
+		return fmt.Errorf("perf report: %w", err)
 	}
 	return nil
 }

@@ -30,21 +30,22 @@ type Workload interface {
 // preserving every ratio that matters (nursery and copy-limit sizes are the
 // paper's own, so collection counts stay high).
 type Scale struct {
-	PrimesCount int // primes to produce
-	SortSize    int // list length to sort
-	SortDepth   int // futures fan-out depth
-	CompModules int // generated modules per repetition
-	CompReps    int // corpus repetitions
+	PrimesCount int     // primes to produce
+	SortSize    int     // list length to sort
+	SortDepth   int     // futures fan-out depth
+	CompModules int     // generated modules per repetition
+	CompReps    int     // corpus repetitions
+	ServeMs     float64 // simulated milliseconds of serving traffic (schema /5)
 }
 
 // DefaultScale is used by the full experiment suite.
 func DefaultScale() Scale {
-	return Scale{PrimesCount: 600, SortSize: 30000, SortDepth: 4, CompModules: 12, CompReps: 40}
+	return Scale{PrimesCount: 600, SortSize: 30000, SortDepth: 4, CompModules: 12, CompReps: 40, ServeMs: 3000}
 }
 
 // QuickScale is used by tests.
 func QuickScale() Scale {
-	return Scale{PrimesCount: 60, SortSize: 2500, SortDepth: 2, CompModules: 4, CompReps: 30}
+	return Scale{PrimesCount: 60, SortSize: 2500, SortDepth: 2, CompModules: 4, CompReps: 30, ServeMs: 800}
 }
 
 // ---------------------------------------------------------------- Primes

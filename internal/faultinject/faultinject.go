@@ -16,6 +16,7 @@ import (
 
 	"repligc/internal/core"
 	"repligc/internal/heap"
+	"repligc/internal/rng"
 )
 
 // Action is one kind of injected fault.
@@ -87,37 +88,28 @@ type Plan struct {
 	Events []Event
 }
 
-// splitmix64 advances *s and returns the next value of a fixed, seedable
-// pseudo-random sequence. Using it instead of math/rand keeps the package
-// free of any implicit global state.
-func splitmix64(s *uint64) uint64 {
-	*s += 0x9e3779b97f4a7c15
-	z := *s
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
 // Adversarial builds a seeded plan of n events spread over spanOps
 // operations, mixing every action. Shrink slacks are small (0–8 KB) so the
 // plan reliably provokes overflow on small test heaps; the same seed always
-// yields the same plan.
+// yields the same plan. The draws come from the shared rng splitmix64
+// stream (the regression test pins the plans bit-identical to the sequence
+// this package produced before the generator was extracted).
 func Adversarial(seed uint64, n int, spanOps int64) Plan {
 	if spanOps < 1 {
 		spanOps = 1
 	}
-	s := seed
+	s := rng.New(seed)
 	evs := make([]Event, 0, n)
 	for i := 0; i < n; i++ {
 		ev := Event{
-			AtOp:   int64(splitmix64(&s)%uint64(spanOps)) + 1,
-			Action: Action(splitmix64(&s) % uint64(numActions)),
+			AtOp:   int64(s.Uint64n(uint64(spanOps))) + 1,
+			Action: Action(s.Uint64n(uint64(numActions))),
 		}
 		switch ev.Action {
 		case ShrinkOld, ShrinkNursery:
-			ev.Arg = int64(splitmix64(&s) % (8 << 10))
+			ev.Arg = int64(s.Uint64n(8 << 10))
 		case LogSpike:
-			ev.Arg = int64(splitmix64(&s)%512) + 32
+			ev.Arg = int64(s.Uint64n(512)) + 32
 		}
 		evs = append(evs, ev)
 	}
@@ -288,14 +280,14 @@ func (p CrashPlan) String() string {
 // combination before repeating, with seeded fractional offsets. The same
 // seed always yields the same plans.
 func CrashPlans(seed uint64, n int) []CrashPlan {
-	s := seed
+	s := rng.New(seed)
 	out := make([]CrashPlan, 0, n)
 	for i := 0; i < n; i++ {
 		p := CrashPlan{
 			Target:   CrashTarget(i % int(numCrashTargets)),
 			Kind:     CrashKind((i / int(numCrashTargets)) % int(numCrashKinds)),
-			Fraction: float64(splitmix64(&s)%1000) / 1000,
-			Mask:     splitmix64(&s) | 1, // never zero: always flips at least one bit
+			Fraction: float64(s.Uint64n(1000)) / 1000,
+			Mask:     s.Next() | 1, // never zero: always flips at least one bit
 		}
 		out = append(out, p)
 	}

@@ -176,3 +176,33 @@ func TestCrashPlansDeterministic(t *testing.T) {
 		t.Fatalf("16 plans cover %d targets and %d kinds; want every target and kind", len(targets), len(kinds))
 	}
 }
+
+// TestPlansPinnedToExtractedGenerator pins the seeded plans bit-identical to
+// the sequence this package produced before its splitmix64 generator was
+// extracted into internal/rng: the exact events of Adversarial(42, 6, 500)
+// and the exact sites of CrashPlans(7, 4), values recorded from the
+// pre-extraction implementation. Any change to the shared stream's
+// recurrence, or to how this package consumes it, breaks this test.
+func TestPlansPinnedToExtractedGenerator(t *testing.T) {
+	wantEvents := []faultinject.Event{
+		{AtOp: 147, Action: faultinject.ShrinkNursery, Arg: 3511},
+		{AtOp: 265, Action: faultinject.LogSpike, Arg: 294},
+		{AtOp: 414, Action: faultinject.ShrinkOld, Arg: 8018},
+		{AtOp: 426, Action: faultinject.ShrinkNursery, Arg: 7637},
+		{AtOp: 457, Action: faultinject.ShrinkNursery, Arg: 6773},
+		{AtOp: 475, Action: faultinject.ForceComplete, Arg: 0},
+	}
+	if got := faultinject.Adversarial(42, 6, 500); !reflect.DeepEqual(got.Events, wantEvents) {
+		t.Errorf("Adversarial(42, 6, 500) diverged from the pre-extraction plan:\n got %+v\nwant %+v",
+			got.Events, wantEvents)
+	}
+	wantCrash := []faultinject.CrashPlan{
+		{Target: faultinject.CrashSnapshot, Kind: faultinject.CrashTruncate, Fraction: 0.487, Mask: 0x44c3cd7f43c661d},
+		{Target: faultinject.CrashWAL, Kind: faultinject.CrashTruncate, Fraction: 0.346, Mask: 0x953aeb70673e29cb},
+		{Target: faultinject.CrashSnapshot, Kind: faultinject.CrashTornWord, Fraction: 0.674, Mask: 0x3fdabe86cbbeaa11},
+		{Target: faultinject.CrashWAL, Kind: faultinject.CrashTornWord, Fraction: 0.798, Mask: 0x53fcd6513d02beff},
+	}
+	if got := faultinject.CrashPlans(7, 4); !reflect.DeepEqual(got, wantCrash) {
+		t.Errorf("CrashPlans(7, 4) diverged from the pre-extraction plans:\n got %+v\nwant %+v", got, wantCrash)
+	}
+}

@@ -58,13 +58,14 @@ const (
 	AcctFlip                       // atomically updating roots at a flip (CF)
 	AcctRootScan                   // scanning mutator roots
 	AcctCheckpoint                 // incremental snapshot copying and WAL persistence
+	AcctIdle                       // open-loop serving: the server waiting for the next arrival
 	numAccounts
 )
 
 var acctNames = [numAccounts]string{
 	"mutator", "alloc", "log-write", "header-check",
 	"minor-copy", "major-copy", "log-scan", "log-reapply", "flip", "root-scan",
-	"checkpoint",
+	"checkpoint", "idle",
 }
 
 // String returns the short name of the account.

@@ -100,6 +100,32 @@ func Percentile(ds []Duration, p float64) Duration {
 	sorted := make([]Duration, len(ds))
 	copy(sorted, ds)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return percentileSorted(sorted, p)
+}
+
+// Percentiles returns the nearest-rank percentile of ds for each p in ps,
+// sorting once however many quantiles are asked for. Each result is exactly
+// what Percentile(ds, p) returns; batch callers (the trace summary, the perf
+// report, the serving engine's latency tails) use this form so a four-or-
+// five-quantile digest costs one sort instead of one per quantile. An empty
+// input yields all zeros.
+func Percentiles(ds []Duration, ps ...float64) []Duration {
+	out := make([]Duration, len(ps))
+	if len(ds) == 0 {
+		return out
+	}
+	sorted := make([]Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// percentileSorted is the shared nearest-rank rule over an already-sorted,
+// non-empty slice.
+func percentileSorted(sorted []Duration, p float64) Duration {
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -204,3 +204,43 @@ func TestRecorderCSV(t *testing.T) {
 		t.Fatalf("CSV:\n%q\nwant\n%q", out, want)
 	}
 }
+
+// TestPercentilesMatchesPercentile pins the batch helper to the single-
+// quantile rule at every small n where nearest-rank is easiest to get wrong:
+// for n < 100 the p99 rank is the last element, and p99 vs p99.9 only
+// separate once n reaches the hundreds.
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		// Descending input: Percentiles must sort, not trust order.
+		ds := make([]Duration, n)
+		for i := range ds {
+			ds[i] = Duration((n - i) * 10)
+		}
+		ps := []float64{0, 50, 95, 99, 99.9, 100}
+		got := Percentiles(ds, ps...)
+		if len(got) != len(ps) {
+			t.Fatalf("n=%d: got %d results for %d quantiles", n, len(got), len(ps))
+		}
+		for i, p := range ps {
+			if want := Percentile(ds, p); got[i] != want {
+				t.Errorf("n=%d p%.1f: Percentiles = %v, Percentile = %v", n, p, got[i], want)
+			}
+		}
+		// With n < 100 observations both extreme quantiles are the max.
+		if got[3] != Duration(n*10) || got[4] != Duration(n*10) {
+			t.Errorf("n=%d: p99 %v / p99.9 %v, want the max %v", n, got[3], got[4], Duration(n*10))
+		}
+	}
+	// At n = 1000 the two tails must separate: nearest rank 990 vs 999.
+	ds := make([]Duration, 1000)
+	for i := range ds {
+		ds[i] = Duration(i + 1)
+	}
+	got := Percentiles(ds, 99, 99.9)
+	if got[0] != 990 || got[1] != 999 {
+		t.Errorf("n=1000: p99 %v p99.9 %v, want 990 and 999", got[0], got[1])
+	}
+	if out := Percentiles(nil, 50, 99); out[0] != 0 || out[1] != 0 {
+		t.Errorf("empty input: got %v, want zeros", out)
+	}
+}

@@ -111,6 +111,13 @@ func (a *Analysis) PauseQuantile(p float64) simtime.Duration {
 	return simtime.Percentile(a.PauseDurations(), p)
 }
 
+// PauseQuantiles returns the percentile pause for each p in ps, sorting the
+// pause durations once (simtime.Percentiles — the batch form of the shared
+// quantile implementation).
+func (a *Analysis) PauseQuantiles(ps ...float64) []simtime.Duration {
+	return simtime.Percentiles(a.PauseDurations(), ps...)
+}
+
 // busyBefore returns the total pause time in [a.Start, t).
 func (a *Analysis) busyBefore(t simtime.Duration) simtime.Duration {
 	i := sort.Search(len(a.Pauses), func(i int) bool { return a.Pauses[i].End > t })
@@ -221,9 +228,9 @@ func Summary(label string, a *Analysis, dropped int64) string {
 		s += fmt.Sprintf("WARNING: ring dropped %d events; figures describe the retained suffix\n", dropped)
 	}
 	if len(a.Pauses) > 0 {
+		q := a.PauseQuantiles(50, 90, 95, 99, 100)
 		s += fmt.Sprintf("pause p50 %v  p90 %v  p95 %v  p99 %v  max %v\n",
-			a.PauseQuantile(50), a.PauseQuantile(90), a.PauseQuantile(95),
-			a.PauseQuantile(99), a.PauseQuantile(100))
+			q[0], q[1], q[2], q[3], q[4])
 	}
 	s += "MMU:"
 	for _, pt := range a.MMUCurve(a.StandardWindows()) {

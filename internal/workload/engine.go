@@ -1,0 +1,413 @@
+package workload
+
+// The serving engine. Serve replays a materialised trace through one
+// runtime: requests arrive open-loop at their trace instants, queue behind
+// the single simulated server, allocate and mutate session state through the
+// Mutator (so the write barrier, the mutation log and the collector all see
+// real traffic), and are timed on the simulated clock. GC pauses therefore
+// surface exactly where a service feels them: as queue growth and latency
+// tails, attributed per request as "intrusion" — the pause time overlapping
+// the request's arrival-to-completion window.
+//
+// Session state lives on the mutator's handle stack (the repository's
+// shadow-stack discipline), so roots survive flips without any new root
+// plumbing, and every heap.Value is re-read from its handle after a call
+// that may collect.
+
+import (
+	"fmt"
+	"sort"
+
+	"repligc/internal/core"
+	"repligc/internal/heap"
+	"repligc/internal/simtime"
+	"repligc/internal/stopcopy"
+	"repligc/internal/trace"
+)
+
+// Collector names the engine can build.
+const (
+	CollectorRT           = "rt"             // full incremental replicating collector
+	CollectorRTLazy       = "rt-lazy"        // rt + lazy log processing
+	CollectorStopCopyCore = "stop-copy-core" // replicating machinery, non-incremental pauses
+	CollectorSC           = "sc"             // plain stop-and-copy baseline
+)
+
+// Collectors lists the supported collector names.
+func Collectors() []string {
+	return []string{CollectorRT, CollectorRTLazy, CollectorStopCopyCore, CollectorSC}
+}
+
+// Runtime is one constructed server: heap, mutator, collector, trace
+// recorder.
+type Runtime struct {
+	Heap      *heap.Heap
+	Mutator   *core.Mutator
+	GC        core.Collector
+	Recorder  *trace.Recorder
+	Collector string
+}
+
+// RuntimeOptions configures NewRuntime.
+type RuntimeOptions struct {
+	Collector    string // one of Collectors(); default CollectorRT
+	NaiveBarrier bool   // disable write-barrier coalescing (baseline leg)
+	TraceCap     int    // trace recorder capacity; default 1 << 20 events
+}
+
+// NewRuntime builds a server for spec's heap parameters.
+func NewRuntime(spec *Spec, opt RuntimeOptions) (*Runtime, error) {
+	name := opt.Collector
+	if name == "" {
+		name = CollectorRT
+	}
+	hs := spec.Heap.WithDefaults()
+	nurseryBytes := hs.NurseryKB << 10
+	majorBytes := hs.MajorKB << 10
+	copyLimit := hs.CopyLimitKB << 10
+	oldSemi := hs.OldMB << 20
+	nurseryCap := 16 * nurseryBytes
+	if nurseryCap < 16<<20 {
+		nurseryCap = 16 << 20
+	}
+	h := heap.New(heap.Config{
+		NurseryBytes:    nurseryBytes,
+		NurseryCapBytes: nurseryCap,
+		OldSemiBytes:    oldSemi,
+	})
+
+	policy := core.LogAllMutations
+	if name == CollectorSC {
+		policy = core.LogPointersOnly
+	}
+	m := core.NewMutator(h, simtime.NewClock(), simtime.Default1993(), policy)
+	m.NaiveBarrier = opt.NaiveBarrier
+
+	var gc core.Collector
+	switch name {
+	case CollectorSC:
+		gc = stopcopy.New(h, stopcopy.Config{
+			NurseryBytes:        nurseryBytes,
+			MajorThresholdBytes: majorBytes,
+		})
+	case CollectorStopCopyCore:
+		gc = core.NewReplicating(h, core.Config{
+			NurseryBytes:        nurseryBytes,
+			MajorThresholdBytes: majorBytes,
+		})
+	case CollectorRT, CollectorRTLazy:
+		gc = core.NewReplicating(h, core.Config{
+			NurseryBytes:        nurseryBytes,
+			MajorThresholdBytes: majorBytes,
+			CopyLimitBytes:      copyLimit,
+			IncrementalMinor:    true,
+			IncrementalMajor:    true,
+			LazyLogProcessing:   name == CollectorRTLazy,
+		})
+	default:
+		return nil, fmt.Errorf("workload: unknown collector %q (want one of %v)", name, Collectors())
+	}
+	m.AttachGC(gc)
+
+	cap := opt.TraceCap
+	if cap == 0 {
+		cap = 1 << 20
+	}
+	r := trace.NewRecorder(cap)
+	m.Trace = r
+	clock := m.Clock
+	h.EpochHook = func(epoch uint32) { r.LogEpoch(clock.Now(), int64(epoch)) }
+	if ts, ok := gc.(interface{ SetTrace(*trace.Recorder) }); ok {
+		ts.SetTrace(r)
+	}
+	return &Runtime{Heap: h, Mutator: m, GC: gc, Recorder: r, Collector: name}, nil
+}
+
+// ServeOptions tunes one Serve call.
+type ServeOptions struct {
+	// Inject, when non-nil, runs before each request is served; an error
+	// aborts the run. The fault-injection tests wire an Injector.Tick here
+	// so adversarial heap events land under live traffic.
+	Inject func() error
+}
+
+// Serve drives the whole trace through rt and digests the outcome into a
+// report leg named legName.
+func Serve(rt *Runtime, t *Trace, legName string, opt ServeOptions) (*Leg, error) {
+	m, gc, clock := rt.Mutator, rt.GC, rt.Mutator.Clock
+	spec := t.Spec
+
+	// Session root tables: one handle per session slot per cohort, pinned on
+	// the mutator's shadow stack so the collector updates them at flips.
+	slotCounts := t.slotCount()
+	tables := make([][]core.Handle, len(spec.Cohorts))
+	for ci, n := range slotCounts {
+		tables[ci] = make([]core.Handle, n)
+		for s := range tables[ci] {
+			tables[ci][s] = m.PushHandle(heap.Nil)
+		}
+	}
+
+	n := len(t.Reqs)
+	starts := make([]simtime.Duration, n)
+	ends := make([]simtime.Duration, n)
+	depths := make([]int, n)
+	k := 0 // arrival cursor for queue-depth samples
+	for i := range t.Reqs {
+		r := &t.Reqs[i]
+		if now := clock.Now(); now < r.At {
+			clock.Charge(simtime.AcctIdle, r.At-now)
+		}
+		start := clock.Now()
+		starts[i] = start
+		for k < n && t.Reqs[k].At <= start {
+			k++
+		}
+		if k <= i {
+			k = i + 1 // the request being served is always in the system
+		}
+		depths[i] = k - i
+
+		if opt.Inject != nil {
+			if err := opt.Inject(); err != nil {
+				return nil, fmt.Errorf("workload: inject before request %d: %w", i, err)
+			}
+		}
+		if err := serveOne(m, spec, tables, r, i); err != nil {
+			return nil, fmt.Errorf("workload: request %d (cohort %s): %w",
+				i, spec.Cohorts[r.Cohort].Name, err)
+		}
+		ends[i] = clock.Now()
+	}
+	elapsed := clock.Now()
+	if err := gc.FinishCycles(m); err != nil {
+		return nil, fmt.Errorf("workload: finishing collection cycles: %w", err)
+	}
+	return buildLeg(rt, t, legName, starts, ends, depths, elapsed)
+}
+
+// serveOne executes one request's heap work. gi is the request's global
+// index, used to derive deterministic mutation slots and stored values.
+func serveOne(m *core.Mutator, spec *Spec, tables [][]core.Handle, r *Req, gi int) error {
+	tab := tables[r.Cohort]
+	if r.NewWords > 0 {
+		p, err := m.Alloc(heap.KindArray, int(r.NewWords))
+		if err != nil {
+			return fmt.Errorf("session state: %w", err)
+		}
+		m.Init(p, 0, heap.FromInt(int64(gi)))
+		m.SetHandleVal(tab[r.Session], p)
+	}
+	for _, ob := range r.Objs {
+		p, err := m.Alloc(heap.KindArray, int(ob.Words))
+		if err != nil {
+			return fmt.Errorf("request object: %w", err)
+		}
+		m.Init(p, 0, heap.FromInt(int64(gi)))
+		if ob.Retain >= 0 {
+			// Re-read the session root after the allocation above: the
+			// collector may have flipped and updated the handle slot.
+			sess := m.HandleVal(tab[r.Session])
+			if sess != heap.Nil {
+				m.Set(sess, int(ob.Retain), p)
+			}
+		}
+	}
+	if r.Muts > 0 {
+		sess := m.HandleVal(tab[r.Session])
+		if sess != heap.Nil {
+			words := spec.Cohorts[r.Cohort].Profile.SessionWords
+			for j := 0; j < int(r.Muts); j++ {
+				slot := int((uint32(gi)*2654435761 + uint32(j)*40503) % uint32(words))
+				m.Set(sess, slot, heap.FromInt(int64(gi+j)))
+			}
+		}
+	}
+	m.Step(int(r.Steps))
+	if r.End {
+		m.SetHandleVal(tab[r.Session], heap.Nil)
+	}
+	return nil
+}
+
+// buildLeg digests one served run. The heap fingerprint is computed last:
+// walking the graph charges header-check time to the clock, which must not
+// perturb any latency measurement.
+func buildLeg(rt *Runtime, t *Trace, legName string,
+	starts, ends []simtime.Duration, depths []int, elapsed simtime.Duration) (*Leg, error) {
+
+	spec := t.Spec
+	clock := rt.Mutator.Clock
+	pauses := rt.GC.Pauses()
+	idx := newPauseIndex(pauses)
+
+	leg := &Leg{
+		Name:                 legName,
+		Collector:            rt.Collector,
+		ElapsedMs:            elapsed.Milliseconds(),
+		IdleMs:               clock.AccountTotal(simtime.AcctIdle).Milliseconds(),
+		Requests:             len(t.Reqs),
+		Pauses:               len(pauses.Pauses),
+		EmergencyCollections: int64(rt.GC.Stats().EmergencyCollections),
+	}
+	pq := simtime.Percentiles(pauses.Durations(), 50, 99, 100)
+	leg.PauseP50Ms, leg.PauseP99Ms, leg.PauseMaxMs =
+		pq[0].Milliseconds(), pq[1].Milliseconds(), pq[2].Milliseconds()
+
+	// Queue stats over the per-request service-start samples.
+	if n := len(depths); n > 0 {
+		sum := 0
+		max := 0
+		sorted := make([]int, n)
+		copy(sorted, depths)
+		sort.Ints(sorted)
+		for _, d := range depths {
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		rank := int(99.0/100*float64(n)+0.999999) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		leg.Queue = QueueStats{
+			MeanDepth: float64(sum) / float64(n),
+			P99Depth:  sorted[rank],
+			MaxDepth:  max,
+		}
+	}
+
+	// Per-cohort latency, queue wait, intrusion, SLO.
+	sessions := t.Sessions()
+	type acc struct {
+		lats, waits, intrs []simtime.Duration
+	}
+	accs := make([]acc, len(spec.Cohorts))
+	for i := range t.Reqs {
+		r := &t.Reqs[i]
+		a := &accs[r.Cohort]
+		a.lats = append(a.lats, ends[i]-r.At)
+		a.waits = append(a.waits, starts[i]-r.At)
+		a.intrs = append(a.intrs, idx.between(r.At, ends[i]))
+	}
+	for ci := range spec.Cohorts {
+		c := &spec.Cohorts[ci]
+		a := &accs[ci]
+		cm := CohortMetrics{
+			Name:     c.Name,
+			Requests: len(a.lats),
+			Sessions: sessions[ci],
+		}
+		lq := simtime.Percentiles(a.lats, 50, 95, 99, 99.9, 100)
+		cm.Latency = Latency{
+			P50:  lq[0].Milliseconds(),
+			P95:  lq[1].Milliseconds(),
+			P99:  lq[2].Milliseconds(),
+			P999: lq[3].Milliseconds(),
+			Max:  lq[4].Milliseconds(),
+		}
+		var latSum, intrSum simtime.Duration
+		for _, d := range a.lats {
+			latSum += d
+		}
+		for _, d := range a.intrs {
+			intrSum += d
+		}
+		if n := len(a.lats); n > 0 {
+			cm.Latency.Mean = (latSum / simtime.Duration(n)).Milliseconds()
+		}
+		cm.QueueWaitP99Ms = simtime.Percentile(a.waits, 99).Milliseconds()
+		cm.Intrusion = Intrusion{
+			TotalMs: intrSum.Milliseconds(),
+			P99Ms:   simtime.Percentile(a.intrs, 99).Milliseconds(),
+		}
+		if latSum > 0 {
+			cm.Intrusion.PctOfLatency = 100 * float64(intrSum) / float64(latSum)
+		}
+		target := simtime.Duration(c.SLO.TargetMs * float64(simtime.Millisecond))
+		deadline := simtime.Duration(c.SLO.DeadlineMs * float64(simtime.Millisecond))
+		cm.SLO = SLOBreakdown{TargetMs: c.SLO.TargetMs, DeadlineMs: c.SLO.DeadlineMs}
+		for _, d := range a.lats {
+			switch {
+			case d <= target:
+				cm.SLO.Met++
+			case d <= deadline:
+				cm.SLO.Late++
+			default:
+				cm.SLO.Missed++
+			}
+		}
+		leg.Cohorts = append(leg.Cohorts, cm)
+	}
+
+	// Request-granularity MMU: the standard ladder merged with every
+	// cohort's SLO target, from the run's event trace.
+	an, err := trace.Analyze(rt.Recorder.Events())
+	if err != nil {
+		return nil, fmt.Errorf("workload: analyzing run trace: %w", err)
+	}
+	windows := an.StandardWindows()
+	for _, c := range spec.Cohorts {
+		w := simtime.Duration(c.SLO.TargetMs * float64(simtime.Millisecond))
+		if w > 0 && w < an.Total() {
+			windows = append(windows, w)
+		}
+	}
+	sort.Slice(windows, func(i, j int) bool { return windows[i] < windows[j] })
+	uniq := windows[:0]
+	for _, w := range windows {
+		if len(uniq) == 0 || w != uniq[len(uniq)-1] {
+			uniq = append(uniq, w)
+		}
+	}
+	for _, pt := range an.MMUCurve(uniq) {
+		leg.MMU = append(leg.MMU, MMUPoint{
+			WindowMs:    pt.Window.Milliseconds(),
+			Utilization: pt.Utilization,
+		})
+	}
+
+	leg.HeapFingerprint = fmt.Sprintf("%016x", heapFingerprint(rt.Mutator, spec, t))
+	return leg, nil
+}
+
+// pauseIndex answers "how much pause time overlaps [a, b]" in O(log n) via
+// prefix sums, the same pause-edge technique as trace.Analysis.
+type pauseIndex struct {
+	starts, ends []simtime.Duration
+	cum          []simtime.Duration
+}
+
+func newPauseIndex(r *simtime.Recorder) *pauseIndex {
+	n := len(r.Pauses)
+	idx := &pauseIndex{
+		starts: make([]simtime.Duration, n),
+		ends:   make([]simtime.Duration, n),
+		cum:    make([]simtime.Duration, n+1),
+	}
+	for i, p := range r.Pauses {
+		idx.starts[i] = p.At
+		idx.ends[i] = p.At + p.Length
+		idx.cum[i+1] = idx.cum[i] + p.Length
+	}
+	return idx
+}
+
+// busyBefore is the total pause time in (-inf, t).
+func (idx *pauseIndex) busyBefore(t simtime.Duration) simtime.Duration {
+	i := sort.Search(len(idx.ends), func(i int) bool { return idx.ends[i] > t })
+	b := idx.cum[i]
+	if i < len(idx.starts) && idx.starts[i] < t {
+		b += t - idx.starts[i]
+	}
+	return b
+}
+
+// between is the pause time overlapping [a, b].
+func (idx *pauseIndex) between(a, b simtime.Duration) simtime.Duration {
+	if b <= a {
+		return 0
+	}
+	return idx.busyBefore(b) - idx.busyBefore(a)
+}

@@ -1,0 +1,346 @@
+package workload
+
+// Trace record/replay. EncodeTrace serialises a materialised trace to a
+// versioned artifact; DecodeTrace reads one back bit-identically. The
+// format follows the checkpoint subsystem's framing discipline:
+//
+//	magic | frame* ,  frame := seq u32 | type u8 | payloadLen u32 | payload | crc u32
+//
+// where crc is the IEEE CRC-32 of everything before it in the frame and
+// sequence numbers must be consecutive, so duplicated, reordered or torn
+// records are detected even when their checksums survive. The footer
+// carries the request count and the trace fingerprint; a decode either
+// yields exactly the encoded trace or fails with a typed *TraceCorruptError
+// — never a silently different workload. All integers are little-endian.
+//
+// This package only transforms bytes; reading and writing artifact *files*
+// belongs to cmd/ (gclint rule "io").
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"repligc/internal/simtime"
+)
+
+const (
+	traceMagic   = "RGCSRVT1" // serving-trace artifact magic
+	traceVersion = 1
+
+	// reqsPerRecord batches requests per frame: artifacts stay streamable
+	// and a torn tail corrupts one frame, not the whole request list.
+	reqsPerRecord = 1024
+)
+
+// Record types.
+const (
+	recTraceHeader uint8 = iota + 1 // version, seed, spec JSON
+	recTraceReqs                    // a batch of materialised requests
+	recTraceFooter                  // request count, fingerprint (completeness marker)
+)
+
+// TraceCorruptError is the typed error for any damaged, truncated or
+// inconsistent trace artifact.
+type TraceCorruptError struct {
+	Detail string
+	Err    error
+}
+
+// Error implements error.
+func (e *TraceCorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("workload trace: %s: %v", e.Detail, e.Err)
+	}
+	return fmt.Sprintf("workload trace: %s", e.Detail)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *TraceCorruptError) Unwrap() error { return e.Err }
+
+func traceCorrupt(format string, args ...any) *TraceCorruptError {
+	return &TraceCorruptError{Detail: fmt.Sprintf(format, args...)}
+}
+
+// EncodeTrace serialises t.
+func EncodeTrace(t *Trace) ([]byte, error) {
+	specJSON, err := canonicalSpec(t.Spec)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.WriteString(traceMagic)
+	seq := uint32(0)
+	frame := func(typ uint8, payload []byte) {
+		hdr := make([]byte, 9)
+		binary.LittleEndian.PutUint32(hdr[0:], seq)
+		hdr[4] = typ
+		binary.LittleEndian.PutUint32(hdr[5:], uint32(len(payload)))
+		crc := crc32.NewIEEE()
+		crc.Write(hdr)
+		crc.Write(payload)
+		out.Write(hdr)
+		out.Write(payload)
+		var sum [4]byte
+		binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+		out.Write(sum[:])
+		seq++
+	}
+
+	var p payload
+	p.u32(traceVersion)
+	p.u64(t.Spec.Seed)
+	p.bytes(specJSON)
+	frame(recTraceHeader, p.take())
+
+	for lo := 0; lo < len(t.Reqs); lo += reqsPerRecord {
+		hi := lo + reqsPerRecord
+		if hi > len(t.Reqs) {
+			hi = len(t.Reqs)
+		}
+		p.u32(uint32(hi - lo))
+		for i := lo; i < hi; i++ {
+			r := &t.Reqs[i]
+			p.u64(uint64(r.At))
+			p.u32(uint32(r.Cohort))
+			p.u32(uint32(r.Session))
+			p.u32(uint32(r.NewWords))
+			if r.End {
+				p.u8(1)
+			} else {
+				p.u8(0)
+			}
+			p.u32(uint32(r.Muts))
+			p.u32(uint32(r.Steps))
+			p.u32(uint32(len(r.Objs)))
+			for _, o := range r.Objs {
+				p.u32(uint32(o.Words))
+				p.u32(uint32(o.Retain))
+			}
+		}
+		frame(recTraceReqs, p.take())
+	}
+
+	p.u64(uint64(len(t.Reqs)))
+	p.u64(t.Fingerprint())
+	frame(recTraceFooter, p.take())
+	return out.Bytes(), nil
+}
+
+// DecodeTrace reads an artifact back. The returned trace is verified
+// against the footer's request count and fingerprint.
+func DecodeTrace(data []byte) (*Trace, error) {
+	if len(data) < len(traceMagic) || string(data[:len(traceMagic)]) != traceMagic {
+		return nil, traceCorrupt("bad magic (not a serving-trace artifact)")
+	}
+	rest := data[len(traceMagic):]
+	var (
+		t          *Trace
+		wantSeq    uint32
+		sawFooter  bool
+		footCount  uint64
+		footPrint  uint64
+	)
+	for len(rest) > 0 {
+		if sawFooter {
+			return nil, traceCorrupt("data after footer record")
+		}
+		if len(rest) < 13 {
+			return nil, traceCorrupt("truncated frame header")
+		}
+		seq := binary.LittleEndian.Uint32(rest[0:])
+		typ := rest[4]
+		plen := binary.LittleEndian.Uint32(rest[5:])
+		if uint64(len(rest)) < 13+uint64(plen) {
+			return nil, traceCorrupt("record %d: truncated payload (%d of %d bytes)", seq, len(rest)-13, plen)
+		}
+		body := rest[9 : 9+plen]
+		crc := crc32.NewIEEE()
+		crc.Write(rest[:9+plen])
+		if got := binary.LittleEndian.Uint32(rest[9+plen:]); got != crc.Sum32() {
+			return nil, traceCorrupt("record %d: checksum mismatch", seq)
+		}
+		if seq != wantSeq {
+			return nil, traceCorrupt("record sequence %d, want %d (reordered or duplicated)", seq, wantSeq)
+		}
+		wantSeq++
+		rest = rest[13+plen:]
+
+		rd := reader{b: body}
+		switch typ {
+		case recTraceHeader:
+			if t != nil {
+				return nil, traceCorrupt("duplicate header record")
+			}
+			ver := rd.u32()
+			if ver != traceVersion {
+				return nil, traceCorrupt("version %d, want %d", ver, traceVersion)
+			}
+			seed := rd.u64()
+			specJSON := rd.bytes()
+			if rd.err != nil {
+				return nil, traceCorrupt("header record: %v", rd.err)
+			}
+			spec, err := ParseSpec(specJSON)
+			if err != nil {
+				return nil, &TraceCorruptError{Detail: "header spec", Err: err}
+			}
+			if spec.Seed != seed {
+				return nil, traceCorrupt("header seed %d disagrees with spec seed %d", seed, spec.Seed)
+			}
+			t = &Trace{Spec: spec}
+		case recTraceReqs:
+			if t == nil {
+				return nil, traceCorrupt("request record before header")
+			}
+			n := rd.u32()
+			for i := uint32(0); i < n; i++ {
+				var r Req
+				r.At = simtime.Duration(rd.u64())
+				r.Cohort = int32(rd.u32())
+				r.Session = int32(rd.u32())
+				r.NewWords = int32(rd.u32())
+				r.End = rd.u8() != 0
+				r.Muts = int32(rd.u32())
+				r.Steps = int32(rd.u32())
+				no := rd.u32()
+				if rd.err == nil && uint64(no)*8 > uint64(len(rd.b)) {
+					return nil, traceCorrupt("request record: object count %d exceeds payload", no)
+				}
+				r.Objs = make([]ObjAlloc, no)
+				for j := range r.Objs {
+					r.Objs[j].Words = int32(rd.u32())
+					r.Objs[j].Retain = int32(rd.u32())
+				}
+				if rd.err != nil {
+					return nil, traceCorrupt("request record: %v", rd.err)
+				}
+				if int(r.Cohort) < 0 || int(r.Cohort) >= len(t.Spec.Cohorts) {
+					return nil, traceCorrupt("request cohort %d out of range", r.Cohort)
+				}
+				t.Reqs = append(t.Reqs, r)
+			}
+			if rd.err != nil {
+				return nil, traceCorrupt("request record: %v", rd.err)
+			}
+		case recTraceFooter:
+			if t == nil {
+				return nil, traceCorrupt("footer before header")
+			}
+			footCount = rd.u64()
+			footPrint = rd.u64()
+			if rd.err != nil {
+				return nil, traceCorrupt("footer record: %v", rd.err)
+			}
+			sawFooter = true
+		default:
+			return nil, traceCorrupt("record %d: unknown type %d", seq, typ)
+		}
+	}
+	if t == nil || !sawFooter {
+		return nil, traceCorrupt("incomplete artifact (no footer); the recording did not finish")
+	}
+	if uint64(len(t.Reqs)) != footCount {
+		return nil, traceCorrupt("footer promises %d requests, found %d", footCount, len(t.Reqs))
+	}
+	if got := t.Fingerprint(); got != footPrint {
+		return nil, traceCorrupt("fingerprint mismatch: footer %016x, decoded %016x", footPrint, got)
+	}
+	return t, nil
+}
+
+// canonicalSpec marshals the spec in its canonical (struct-ordered) JSON
+// form, the same bytes Fingerprint digests.
+func canonicalSpec(s *Spec) ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("workload trace: marshal spec: %w", err)
+	}
+	return b, nil
+}
+
+// payload accumulates little-endian fields for one record.
+type payload struct{ b []byte }
+
+func (p *payload) u8(v uint8) { p.b = append(p.b, v) }
+func (p *payload) u32(v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	p.b = append(p.b, tmp[:]...)
+}
+func (p *payload) u64(v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	p.b = append(p.b, tmp[:]...)
+}
+func (p *payload) bytes(b []byte) {
+	p.u32(uint32(len(b)))
+	p.b = append(p.b, b...)
+}
+func (p *payload) take() []byte {
+	out := p.b
+	p.b = nil
+	return out
+}
+
+// reader consumes little-endian fields from one record, latching the first
+// error.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.err = fmt.Errorf("short read")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 4 {
+		r.err = fmt.Errorf("short read")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.err = fmt.Errorf("short read")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < uint64(n) {
+		r.err = fmt.Errorf("short read")
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
