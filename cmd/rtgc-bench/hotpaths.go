@@ -1,6 +1,6 @@
 package main
 
-// The hot-path section of the perf report (schema repligc-bench/5):
+// The hot-path section of the perf report (introduced in schema repligc-bench/4):
 // wall-clock before/after of the collector's raw-speed optimisations. Each
 // "naive" leg is the same collector with core.Config.NaiveReplay set — the
 // per-object replay memo, block byte copies and batched scan accounting

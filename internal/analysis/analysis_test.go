@@ -41,6 +41,10 @@ var goldenCases = []struct {
 	{"stalehandle", "repligc/internal/fixstale"},
 	{"barriercomp", "repligc/internal/fixbarriercomp"},
 	{"pauseonly", "repligc/internal/fixpauseonly"},
+	// The multi-mutator group shape: the pause entry is installed as a heap
+	// hook (a function value the call graph cannot see), so its pauseentry
+	// annotation alone certifies the merge writes underneath it.
+	{"multimut", "repligc/internal/fixmultimut"},
 	{"annot", "repligc/internal/fixannot"},
 	// Masquerades as a simulation package: filesystem access is banned
 	// outright, annotation or not.

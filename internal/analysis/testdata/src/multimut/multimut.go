@@ -1,0 +1,67 @@
+// Package fixmultimut exercises the pauseonly rule on the multi-mutator
+// group surface: the pause entry is a method installed as a heap hook (a
+// function value, invisible to the call graph), so the //gclint:pauseentry
+// annotation on the hook target is what certifies its writes — and the
+// per-member merge helpers it calls inherit that certification through the
+// ordinary interprocedural chain.
+package fixmultimut
+
+// hookHeap stands in for the heap's epoch machinery: it calls preEpoch
+// through a function value, an edge the analyzer cannot see.
+type hookHeap struct {
+	preEpoch func()
+}
+
+// group is shared multi-mutator state guarded by the pause-entry rendezvous.
+type group struct {
+	h *hookHeap
+
+	//gclint:pauseonly fixture: merged only at pause entry, with every mutator stopped
+	merged int
+
+	//gclint:pauseonly fixture: epoch counter advanced only while the world is stopped
+	epoch int
+}
+
+// newGroup installs pauseEntry as the hook; the call edge from the heap to
+// the method exists only at runtime.
+func newGroup(h *hookHeap) *group {
+	g := &group{h: h}
+	h.preEpoch = g.pauseEntry
+	return g
+}
+
+//gclint:pauseentry fixture: invoked only from the heap's epoch begin, after every mutator parked
+func (g *group) pauseEntry() {
+	g.mergeLogs()
+}
+
+// mergeLogs is only reachable through pauseEntry, so its write to the
+// pause-only counter is certified by the annotation on the hook target
+// alone — no diagnostic, even though the hook edge itself is invisible.
+func (g *group) mergeLogs() {
+	g.merged++
+}
+
+//gclint:pauseentry
+func (g *group) bareEntry() {
+	// Missing reason text: the annotation itself is flagged, exactly as a
+	// collector pause entry without its stop-the-world justification is.
+	g.epoch++
+}
+
+// Drain is an un-annotated entry point writing a pause-only field through a
+// helper nothing pause-dominated calls; the write is flagged.
+func (g *group) Drain() {
+	g.drainNow()
+}
+
+func (g *group) drainNow() {
+	g.epoch = 0
+}
+
+// Reset clears the counter outside a pause on purpose; the allow annotation
+// carries the reason.
+func (g *group) Reset() {
+	g.merged = 0 //gclint:allow pauseonly -- fixture: group construction, before any mutator can observe it
+}

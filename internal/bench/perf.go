@@ -19,6 +19,8 @@ import (
 	"reflect"
 
 	"repligc/internal/checkpoint"
+	"repligc/internal/core"
+	"repligc/internal/gctest"
 	"repligc/internal/simtime"
 	"repligc/internal/trace"
 	"repligc/internal/workload"
@@ -33,9 +35,13 @@ import (
 // batched scan, allocation-free roots) with its simulated-identity proof.
 // repligc-bench/5 added the serving section (internal/workload): per-cohort
 // latency tails, SLO breakdowns and pause-intrusion attribution for the
-// naive and coalesced barriers serving identical open-loop traffic. The
-// constant aliases workload.ReportSchema so the two producers of the schema
-// cannot drift apart.
+// naive and coalesced barriers serving identical open-loop traffic.
+// repligc-bench/6 added the multi-mutator section: N mutator contexts
+// sharing one heap and one simulated clock, with the wall-clock makespan
+// projected so that only a pause's synchronous portion stops every mutator —
+// the overlap ratio (serial work over wall makespan) is the headline number.
+// The constant aliases workload.ReportSchema so the two producers of the
+// schema cannot drift apart.
 const PerfSchema = workload.ReportSchema
 
 // PerfReport is the document serialised to BENCH_PR8.json.
@@ -64,6 +70,37 @@ type PerfReport struct {
 	// per-cohort latency percentiles, SLO breakdowns, queue stats,
 	// pause-intrusion attribution and request-granularity MMU.
 	Serving *workload.Section `json:"serving"`
+
+	// Multi is the schema-6 section: the same seeded group workload run
+	// with N ∈ {1, 2, 4, 8} mutator contexts sharing one heap under the
+	// full real-time configuration. The N = 1 leg doubles as the identity
+	// anchor (overlap ratio exactly 1, wall equals the serial clock); the
+	// N ≥ 2 legs demonstrate collection genuinely overlapping mutators.
+	Multi []MultiLeg `json:"multi_mutator"`
+}
+
+// MultiLeg is one N-mutator scaling cell of the multi-mutator section. All
+// times are simulated: WorkMs is the shared serial clock (total work done by
+// every actor), WallMs the projected makespan in which only each pause's
+// synchronous portion stops all mutators, and OverlapRatio their quotient —
+// greater than 1 means collector work genuinely ran while mutators ran.
+type MultiLeg struct {
+	Mutators       int       `json:"mutators"`
+	WorkMs         float64   `json:"work_ms"`
+	WallMs         float64   `json:"wall_ms"`
+	OverlapRatio   float64   `json:"overlap_ratio"`
+	Utilization    []float64 `json:"utilization"` // per-mutator, on the wall timeline
+	Minor          int       `json:"minor_collections"`
+	Major          int       `json:"major_collections"`
+	GroupPauses    int       `json:"group_pauses"` // all-mutators-stopped intervals
+	SyncPauseMaxMs float64   `json:"sync_pause_max_ms"`
+	MMU20Ms        float64   `json:"mmu_20ms"` // over the all-stopped intervals, wall timeline
+	MergedEntries  int64     `json:"merged_entries"`
+	MergeDropped   int64     `json:"merge_dropped"`
+	// Fingerprint anchors determinism: the combined reachable-graph hash of
+	// every member plus the shared contended array, stable across reruns and
+	// merge orders for a given (N, seed).
+	Fingerprint string `json:"fingerprint"`
 }
 
 // HotPathsNsOp is the wall-clock hot-path micro-benchmark section. Each
@@ -316,7 +353,77 @@ func RunPerf(s Scale, scaleName string) (*PerfReport, error) {
 		return nil, err
 	}
 	rep.Serving = serving
+	multi, err := RunMulti(s)
+	if err != nil {
+		return nil, err
+	}
+	rep.Multi = multi
 	return rep, nil
+}
+
+// multiSeed seeds the multi-mutator legs; one fixed seed keeps the committed
+// fingerprints comparable across regenerations.
+const multiSeed = 42
+
+// RunMulti runs the multi-mutator scaling legs: the seeded group workload
+// (per-member graph drivers plus a shared contended array) under the full
+// real-time configuration with N ∈ {1, 2, 4, 8} mutator contexts on one
+// heap and one simulated clock.
+func RunMulti(s Scale) ([]MultiLeg, error) {
+	var legs []MultiLeg
+	for _, n := range []int{1, 2, 4, 8} {
+		gr, err := NewGroupRuntime(RunConfig{Config: CfgRT, Params: perfParams()}, n)
+		if err != nil {
+			return nil, fmt.Errorf("multi N=%d: %w", n, err)
+		}
+		md, err := gctest.NewMultiDriver(gr.Group, multiSeed)
+		if err != nil {
+			return nil, fmt.Errorf("multi N=%d: %w", n, err)
+		}
+		for round := 0; round < s.MultiRounds; round++ {
+			if err := md.Step(80); err != nil {
+				return nil, fmt.Errorf("multi N=%d round %d: %w", n, round, err)
+			}
+		}
+		if err := gr.Group.Run(0, func(m *core.Mutator) error {
+			return gr.GC.FinishCycles(m)
+		}); err != nil {
+			return nil, fmt.Errorf("multi N=%d finish: %w", n, err)
+		}
+		g := gr.Group
+		st := gr.GC.Stats()
+		leg := MultiLeg{
+			Mutators:      n,
+			WorkMs:        g.Clock.Now().Milliseconds(),
+			WallMs:        g.Elapsed().Milliseconds(),
+			OverlapRatio:  g.OverlapRatio(),
+			Minor:         st.MinorCollections,
+			Major:         st.MajorCollections,
+			GroupPauses:   len(g.GroupPauses().Pauses),
+			MergedEntries: g.MergedEntries,
+			MergeDropped:  g.MergeDropped,
+			Fingerprint:   fmt.Sprintf("%016x", md.Fingerprint()),
+		}
+		for i := range g.Members {
+			leg.Utilization = append(leg.Utilization, g.Utilization(i))
+		}
+		var maxSync simtime.Duration
+		for _, p := range g.GroupPauses().Pauses {
+			if p.Length > maxSync {
+				maxSync = p.Length
+			}
+		}
+		leg.SyncPauseMaxMs = maxSync.Milliseconds()
+		leg.MMU20Ms = simtime.MMUFromPauses(g.GroupPauses().Pauses, g.Elapsed(), 20*simtime.Millisecond)
+		// Verification re-reads the whole heap through the mutators and
+		// charges the serial clock; it is a correctness gate, not part of the
+		// measured run, so the leg is distilled first.
+		if err := md.Verify(); err != nil {
+			return nil, fmt.Errorf("multi N=%d verify: %w", n, err)
+		}
+		legs = append(legs, leg)
+	}
+	return legs, nil
 }
 
 // ReplaySimIdentical runs every workload under the real-time configuration
@@ -472,6 +579,77 @@ func ValidatePerf(data []byte) error {
 	}
 	if err := rep.Serving.Check(); err != nil {
 		return fmt.Errorf("perf report: %w", err)
+	}
+	if err := checkMulti(rep.Multi); err != nil {
+		return fmt.Errorf("perf report: %w", err)
+	}
+	return nil
+}
+
+// checkMulti validates the schema-6 multi-mutator section: the standard
+// scaling ladder, an exact-identity N = 1 anchor, and genuine overlap
+// (ratio > 1) on every N ≥ 2 leg.
+func checkMulti(legs []MultiLeg) error {
+	wantN := []int{1, 2, 4, 8}
+	if len(legs) != len(wantN) {
+		return fmt.Errorf("multi section has %d legs, want %d (schema %s requires it)", len(legs), len(wantN), PerfSchema)
+	}
+	for i, leg := range legs {
+		if leg.Mutators != wantN[i] {
+			return fmt.Errorf("multi leg %d: mutators = %d, want %d", i, leg.Mutators, wantN[i])
+		}
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"work_ms", leg.WorkMs}, {"wall_ms", leg.WallMs},
+			{"overlap_ratio", leg.OverlapRatio}, {"sync_pause_max_ms", leg.SyncPauseMaxMs},
+			{"mmu_20ms", leg.MMU20Ms},
+		} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+				return fmt.Errorf("multi N=%d: %s = %v is not a finite non-negative number", leg.Mutators, f.name, f.v)
+			}
+		}
+		if leg.WorkMs == 0 || leg.Minor == 0 || leg.GroupPauses == 0 {
+			return fmt.Errorf("multi N=%d: leg did no collected work (work %.0f ms, %d minors, %d group pauses)",
+				leg.Mutators, leg.WorkMs, leg.Minor, leg.GroupPauses)
+		}
+		if leg.WallMs > leg.WorkMs {
+			return fmt.Errorf("multi N=%d: wall %.3f ms exceeds serial work %.3f ms", leg.Mutators, leg.WallMs, leg.WorkMs)
+		}
+		if leg.Mutators == 1 {
+			// The identity anchor: one mutator overlaps nothing, so the wall
+			// timeline must be the serial clock exactly.
+			if leg.OverlapRatio != 1 {
+				return fmt.Errorf("multi N=1: overlap ratio %v, want exactly 1", leg.OverlapRatio)
+			}
+			if leg.MergedEntries != 0 || leg.MergeDropped != 0 {
+				return fmt.Errorf("multi N=1: merge touched %d entries (one member shares the log; nothing to merge)",
+					leg.MergedEntries+leg.MergeDropped)
+			}
+		} else {
+			if leg.OverlapRatio <= 1 {
+				return fmt.Errorf("multi N=%d: overlap ratio %v, want > 1 (collection overlapped no mutator time)",
+					leg.Mutators, leg.OverlapRatio)
+			}
+			if leg.MergedEntries <= 0 {
+				return fmt.Errorf("multi N=%d: no private log entries merged", leg.Mutators)
+			}
+		}
+		if len(leg.Utilization) != leg.Mutators {
+			return fmt.Errorf("multi N=%d: %d utilization entries", leg.Mutators, len(leg.Utilization))
+		}
+		for j, u := range leg.Utilization {
+			if math.IsNaN(u) || u <= 0 || u > 1 {
+				return fmt.Errorf("multi N=%d: mutator %d utilization %v outside (0, 1]", leg.Mutators, j, u)
+			}
+		}
+		if leg.MMU20Ms >= 1 {
+			return fmt.Errorf("multi N=%d: MMU@20ms = %v with %d group pauses", leg.Mutators, leg.MMU20Ms, leg.GroupPauses)
+		}
+		if len(leg.Fingerprint) != 16 {
+			return fmt.Errorf("multi N=%d: fingerprint %q is not 16 hex digits", leg.Mutators, leg.Fingerprint)
+		}
 	}
 	return nil
 }

@@ -162,6 +162,26 @@ func NewRuntime(rc RunConfig) (*Runtime, error) {
 	m := core.NewMutator(h, simtime.NewClock(), cost, logPolicy)
 	m.NaiveBarrier = rc.NaiveBarrier
 
+	gc, err := newCollector(rc, h)
+	if err != nil {
+		return nil, err
+	}
+	m.AttachGC(gc)
+	if rc.Trace != nil {
+		AttachTrace(&Runtime{Heap: h, Mutator: m, GC: gc}, rc.Trace)
+	}
+	if rc.Checkpoint != nil {
+		rep, ok := gc.(*core.Replicating)
+		if !ok {
+			return nil, fmt.Errorf("bench: configuration %q cannot checkpoint (replicating collectors only)", rc.Config)
+		}
+		rep.SetCheckpointer(rc.Checkpoint)
+	}
+	return &Runtime{Heap: h, Mutator: m, GC: gc}, nil
+}
+
+// newCollector builds the collector rc describes over h.
+func newCollector(rc RunConfig, h *heap.Heap) (core.Collector, error) {
 	var gc core.Collector
 	switch rc.Config {
 	case CfgSC, CfgSCMods:
@@ -197,18 +217,55 @@ func NewRuntime(rc RunConfig) (*Runtime, error) {
 	default:
 		return nil, fmt.Errorf("bench: unknown configuration %q", rc.Config)
 	}
-	m.AttachGC(gc)
-	if rc.Trace != nil {
-		AttachTrace(&Runtime{Heap: h, Mutator: m, GC: gc}, rc.Trace)
+	return gc, nil
+}
+
+// GroupRuntime is a constructed heap + n-member mutator group + collector.
+type GroupRuntime struct {
+	Heap  *heap.Heap
+	Group *core.Group
+	GC    core.Collector
+}
+
+// NewGroupRuntime constructs the runtime rc describes with n mutator
+// contexts sharing the heap and collector. A one-member group is
+// bit-identical to the solo Runtime (the differential tests pin this);
+// larger groups give each member a private nursery chunk and mutation log.
+func NewGroupRuntime(rc RunConfig, n int) (*GroupRuntime, error) {
+	cost := rc.Cost
+	if cost == (simtime.CostModel{}) {
+		cost = simtime.Default1993()
 	}
-	if rc.Checkpoint != nil {
-		rep, ok := gc.(*core.Replicating)
-		if !ok {
-			return nil, fmt.Errorf("bench: configuration %q cannot checkpoint (replicating collectors only)", rc.Config)
+	nurseryCap := rc.NurseryCapBytes
+	if nurseryCap == 0 {
+		nurseryCap = 16 * rc.Params.NBytes
+		if nurseryCap < 16<<20 {
+			nurseryCap = 16 << 20
 		}
-		rep.SetCheckpointer(rc.Checkpoint)
 	}
-	return &Runtime{Heap: h, Mutator: m, GC: gc}, nil
+	oldSemi := rc.OldSemiBytes
+	if oldSemi == 0 {
+		oldSemi = 96 << 20
+	}
+	h := heap.New(heap.Config{
+		NurseryBytes:    rc.Params.NBytes,
+		NurseryCapBytes: nurseryCap,
+		OldSemiBytes:    oldSemi,
+	})
+	logPolicy := core.LogAllMutations
+	if rc.Config == CfgSC {
+		logPolicy = core.LogPointersOnly
+	}
+	g := core.NewGroup(h, simtime.NewClock(), cost, logPolicy, n)
+	for _, m := range g.Members {
+		m.NaiveBarrier = rc.NaiveBarrier
+	}
+	gc, err := newCollector(rc, h)
+	if err != nil {
+		return nil, err
+	}
+	g.AttachGC(gc)
+	return &GroupRuntime{Heap: h, Group: g, GC: gc}, nil
 }
 
 // AttachTrace wires recorder r into every hook point of rt: the mutator's

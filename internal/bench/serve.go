@@ -1,6 +1,6 @@
 package bench
 
-// The serving leg of the perf trajectory (schema repligc-bench/5): the
+// The serving leg of the perf trajectory (introduced in schema repligc-bench/5): the
 // paper's batch workloads measure collector cost per unit of work; this leg
 // measures what the collector does to a *service* — request latency tails
 // and SLO misses under open-loop traffic. The spec mirrors the committed

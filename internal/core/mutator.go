@@ -58,9 +58,26 @@ type Mutator struct {
 	// paths stay allocation-free with tracing on or off.
 	Trace *trace.Recorder
 
+	// Actor identifies this mutator context within its Group (0 when
+	// solo). The trace subsystem stamps allocation epochs with it so
+	// per-mutator allocation timelines stay distinguishable in exports.
+	Actor int
+
 	traceAllocMark int64 // BytesAllocated threshold for the next epoch event
 
 	handles handleStack
+
+	// Multi-mutator context split (see group.go). group is nil for a solo
+	// mutator. local is the log the write barrier appends to: the shared
+	// collector-facing Log when solo (or in a one-member group, which keeps
+	// those runs bit-identical to solo runs by construction), or a private
+	// per-mutator log that the group merges into Log at every pause entry.
+	// chunk is the private nursery bump span of a chunked group member;
+	// allocation inside it touches no shared cursor.
+	group   *Group
+	local   *MutationLog
+	chunk   heap.Chunk
+	chunked bool
 }
 
 // AllocEpochBytes is the allocation volume between consecutive
@@ -78,6 +95,7 @@ func NewMutator(h *heap.Heap, clock *simtime.Clock, cost simtime.CostModel, poli
 		Roots:  &RootSet{},
 		Policy: policy,
 	}
+	m.local = m.Log
 	m.Roots.Register(&m.handles)
 	return m
 }
@@ -117,7 +135,7 @@ func (m *Mutator) Alloc(k heap.Kind, n int) (heap.Value, error) {
 		return m.allocOld(k, n)
 	}
 	for attempt := 0; ; attempt++ {
-		if p, ok := m.H.AllocIn(&m.H.Nursery, k, n); ok {
+		if p, ok := m.nurseryAlloc(k, n); ok {
 			m.chargeAlloc(hdr)
 			if m.GC != nil {
 				m.GC.AfterAlloc(m)
@@ -132,6 +150,22 @@ func (m *Mutator) Alloc(k heap.Kind, n int) (heap.Value, error) {
 			return heap.Nil, err
 		}
 	}
+}
+
+// nurseryAlloc is Alloc's nursery bump step. A solo mutator allocates at
+// the shared space cursor, exactly as before the context split. A chunked
+// group member allocates inside its private chunk and refills it from the
+// shared cursor only when the chunk runs dry, so the common path is free of
+// shared state (goroutine-backed groups take the group lock only for the
+// refill).
+func (m *Mutator) nurseryAlloc(k heap.Kind, n int) (heap.Value, bool) {
+	if !m.chunked {
+		return m.H.AllocIn(&m.H.Nursery, k, n)
+	}
+	if p, ok := m.H.AllocInChunk(&m.chunk, k, n); ok {
+		return p, true
+	}
+	return m.group.refillAlloc(m, k, n)
 }
 
 // MustAlloc is Alloc for callers that treat exhaustion as fatal (tests,
@@ -218,7 +252,7 @@ func (m *Mutator) chargeAlloc(hdr heap.Header) {
 	m.Clock.Charge(simtime.AcctAlloc, simtime.Duration(hdr.SizeWords())*m.Cost.AllocWord)
 	m.BytesAllocated += hdr.SizeBytes()
 	if m.Trace != nil && m.BytesAllocated >= m.traceAllocMark {
-		m.Trace.AllocEpoch(m.Clock.Now(), m.BytesAllocated)
+		m.Trace.AllocEpoch(m.Clock.Now(), int64(m.Actor), m.BytesAllocated)
 		m.traceAllocMark = m.BytesAllocated + AllocEpochBytes
 	}
 }
@@ -359,7 +393,7 @@ func (m *Mutator) SetByteRange(p heap.Value, off int, data []byte) {
 }
 
 func (m *Mutator) logMutation(e LogEntry) {
-	m.Log.Append(e)
+	m.local.Append(e)
 	m.LogWrites++
 	m.Clock.Charge(simtime.AcctLogWrite, m.Cost.LogWrite)
 }

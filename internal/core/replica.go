@@ -396,6 +396,7 @@ func (c *Replicating) AllocTax(m *Mutator, bytes int64) error {
 		// major increment without forcing a (trivial) minor collection.
 		m.Clock.BeginPause()
 		at := m.Clock.Now()
+		syncBase := pauseSyncBase(m.Clock)
 		c.tr.PauseBegin(at)
 		c.tr.Counters(at, m.LogWrites, m.BarrierFastSkips, m.BarrierDirtySkips)
 		// Log cursors may move below: start a fresh coalescing epoch so
@@ -405,8 +406,13 @@ func (c *Replicating) AllocTax(m *Mutator, bytes int64) error {
 		c.pauseCopied, c.pauseLogProcd, c.pauseWork = 0, 0, 0
 		c.stats.PauseCount++
 		_, err = c.runMajorIncrement(m, false, false)
+		length := m.Clock.EndPause()
+		sync := pauseSyncBase(m.Clock) - syncBase
+		if sync > length {
+			sync = length
+		}
 		c.rec.Record(simtime.Pause{
-			At: at, Length: m.Clock.EndPause(), Kind: simtime.PauseMinor,
+			At: at, Length: length, Kind: simtime.PauseMinor, Sync: sync,
 			CopiedB: c.pauseCopied, LogProcN: c.pauseLogProcd,
 		})
 		c.tr.PauseEnd(m.Clock.Now(), c.pauseCopied, c.pauseLogProcd, int64(simtime.PauseMinor))
@@ -455,6 +461,17 @@ func (c *Replicating) CollectEmergency(m *Mutator) error {
 	return c.pause(m, 0, true)
 }
 
+// pauseSyncBase samples the accounts whose within-pause deltas form the
+// stop-the-world portion of a replicating pause (Pause.Sync): root scans,
+// flips and checkpoint commits need every mutator stopped, while replica
+// copying and log replay only need the from-space invariant and may overlap
+// other mutators' execution in the multi-mutator time model (group.go).
+func pauseSyncBase(clk *simtime.Clock) simtime.Duration {
+	return clk.AccountTotal(simtime.AcctRootScan) +
+		clk.AccountTotal(simtime.AcctFlip) +
+		clk.AccountTotal(simtime.AcctCheckpoint)
+}
+
 // pause stops the mutator and performs one increment of collection work.
 // When force is set the pause ignores budgets and completes everything.
 // The pause is always charged and recorded — including when it ends in a
@@ -464,6 +481,7 @@ func (c *Replicating) CollectEmergency(m *Mutator) error {
 func (c *Replicating) pause(m *Mutator, needWords int, force bool) error {
 	m.Clock.BeginPause()
 	at := m.Clock.Now()
+	syncBase := pauseSyncBase(m.Clock)
 	c.tr.PauseBegin(at)
 	c.tr.Counters(at, m.LogWrites, m.BarrierFastSkips, m.BarrierDirtySkips)
 	if c.emergency {
@@ -481,6 +499,10 @@ func (c *Replicating) pause(m *Mutator, needWords int, force bool) error {
 
 	kind := simtime.PauseMinor
 	err := c.pauseBody(m, needWords, force, &kind)
+	// Stop-the-world pauses (forced completions, emergencies) admit no
+	// overlap: capture the flag before it resets — pauseBody may have
+	// escalated on low headroom after entry.
+	stw := force || c.emergency
 	c.emergency = false
 
 	if c.ckpt != nil {
@@ -493,8 +515,12 @@ func (c *Replicating) pause(m *Mutator, needWords int, force bool) error {
 	if DebugPause != nil && length > 100*simtime.Millisecond {
 		DebugPause(c, m, length)
 	}
+	sync := pauseSyncBase(m.Clock) - syncBase
+	if stw || sync > length {
+		sync = length
+	}
 	c.rec.Record(simtime.Pause{
-		At: at, Length: length, Kind: kind,
+		At: at, Length: length, Kind: kind, Sync: sync,
 		CopiedB: c.pauseCopied, LogProcN: c.pauseLogProcd,
 	})
 	c.tr.PauseEnd(m.Clock.Now(), c.pauseCopied, c.pauseLogProcd, int64(kind))

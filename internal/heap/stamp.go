@@ -25,6 +25,9 @@ package heap
 // stamp at O(1) cost. Collectors call it on entry to each pause, before any
 // log cursor moves.
 func (h *Heap) BeginLogEpoch() {
+	if h.PreEpochHook != nil {
+		h.PreEpochHook()
+	}
 	h.logEpoch++
 	if h.logEpoch == 0 {
 		for i := range h.stamps {

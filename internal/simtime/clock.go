@@ -81,7 +81,10 @@ const NumAccounts = int(numAccounts)
 
 // Clock accrues simulated time. It is not safe for concurrent use; the
 // simulation is single-threaded by design (the paper's collector interleaves
-// with the mutator rather than running in parallel).
+// with the mutator rather than running in parallel). Multi-mutator groups
+// share one clock as a serial total-work timeline and project overlap
+// separately (core.Group); the goroutine-backed parallel mode gives each
+// member its own clock so this constraint holds per goroutine.
 type Clock struct {
 	now      Duration
 	byAcct   [numAccounts]Duration

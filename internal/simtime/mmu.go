@@ -1,0 +1,69 @@
+package simtime
+
+// Minimum mutator utilization over recorded pauses. The trace subsystem
+// computes MMU curves from its own event stream; this is the pause-list
+// form, used where only a Recorder exists — in particular for the
+// multi-mutator group timeline, whose all-stopped intervals are synthesized
+// by core.Group rather than traced.
+
+import "sort"
+
+// MMUFromPauses reports the minimum mutator utilization over every window
+// of width w inside [0, total]: the smallest fraction of any such window
+// that was not covered by a pause. Pauses must be non-overlapping; they are
+// sorted by start time internally. Degenerate inputs (no pauses, or a
+// non-positive window or total) report full utilization.
+func MMUFromPauses(pauses []Pause, total, w Duration) float64 {
+	if len(pauses) == 0 || w <= 0 || total <= 0 {
+		return 1
+	}
+	if w > total {
+		w = total
+	}
+	ps := make([]Pause, len(pauses))
+	copy(ps, pauses)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].At < ps[j].At })
+
+	// cum[i] is the total pause time strictly before pause i.
+	cum := make([]Duration, len(ps)+1)
+	for i, p := range ps {
+		cum[i+1] = cum[i] + p.Length
+	}
+	// pausedBefore(t) is the total pause time in [0, t).
+	pausedBefore := func(t Duration) Duration {
+		i := sort.Search(len(ps), func(i int) bool { return ps[i].At >= t })
+		d := cum[i]
+		if i > 0 {
+			if end := ps[i-1].At + ps[i-1].Length; end > t {
+				d -= end - t
+			}
+		}
+		return d
+	}
+
+	// The minimum is attained with a window edge on a pause edge: candidate
+	// starts are each pause's start and each pause's end minus w, plus the
+	// interval ends.
+	starts := make([]Duration, 0, 2*len(ps)+2)
+	starts = append(starts, 0, total-w)
+	for _, p := range ps {
+		starts = append(starts, p.At, p.At+p.Length-w)
+	}
+	min := 1.0
+	for _, s := range starts {
+		if s < 0 {
+			s = 0
+		}
+		if s+w > total {
+			s = total - w
+		}
+		stopped := pausedBefore(s+w) - pausedBefore(s)
+		if stopped > w {
+			stopped = w
+		}
+		if u := float64(w-stopped) / float64(w); u < min {
+			min = u
+		}
+	}
+	return min
+}

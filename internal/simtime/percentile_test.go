@@ -1,0 +1,188 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+)
+
+// oldPercentileSorted is the pre-fix nearest-rank rule, reproduced verbatim
+// for differential comparison: it approximated ceil(p·n/100) by adding a
+// 0.999999 epsilon before truncating.
+func oldPercentileSorted(sorted []Duration, p float64) Duration {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// wantRank is the specification: the 1-based nearest rank is the exact
+// ceiling of p·n/100 with p on the micro-percent grid, clamped to [1, n].
+func wantRank(n int, p float64) int {
+	pm := int64(math.Round(p * microPercent))
+	const denom = 100 * microPercent
+	rank := (pm*int64(n) + denom - 1) / denom
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > int64(n) {
+		rank = int64(n)
+	}
+	return int(rank)
+}
+
+// seq builds [1, 2, ..., n] so the returned percentile IS its 1-based rank.
+func seq(n int) []Duration {
+	ds := make([]Duration, n)
+	for i := range ds {
+		ds[i] = Duration(i + 1)
+	}
+	return ds
+}
+
+// TestPercentileNearestRankExact pins the fix across the boundary cases the
+// old epsilon rule got wrong or nearly wrong: p·n/100 exactly integral
+// (no round-up may happen), n = 1, p just above 0, and p whose product's
+// fractional part falls inside the old rule's (0, 1e-6) blind spot.
+func TestPercentileNearestRankExact(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		p    float64
+		want int // 1-based rank
+	}{
+		// p·n/100 exactly integral: rank must be the product itself.
+		{"exact-median-even", 2, 50, 1},
+		{"exact-median-100", 100, 50, 50},
+		{"exact-p95-n100", 100, 95, 95},
+		{"exact-p25-n4", 4, 25, 1},
+		{"exact-p75-n4", 4, 75, 3},
+		// Just above an integral product: rank must step up by one.
+		{"above-median-even", 2, 50.000001, 2},
+		{"above-p95-n100", 100, 95.000001, 96},
+		// n = 1: every percentile is the sole element.
+		{"single-p0", 1, 0, 1},
+		{"single-p50", 1, 50, 1},
+		{"single-p999", 1, 99.9, 1},
+		{"single-p100", 1, 100, 1},
+		// p just above zero: nearest rank is the minimum.
+		{"tiny-p", 1000, 0.000001, 1},
+		{"tiny-p-smaller-n", 10, 0.000001, 1},
+		// Decimal quantiles must land exactly despite float representation.
+		{"p999-n1000", 1000, 99.9, 999},
+		{"p999-n10000", 10000, 99.9, 9990},
+		{"p501-n1000", 1000, 50.1, 501},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if w := wantRank(c.n, c.p); w != c.want {
+				t.Fatalf("test-case inconsistency: spec rank %d, case wants %d", w, c.want)
+			}
+			got := Percentile(seq(c.n), c.p)
+			if int(got) != c.want {
+				t.Fatalf("Percentile(n=%d, p=%v) = rank %d, want %d", c.n, c.p, int(got), c.want)
+			}
+		})
+	}
+}
+
+// TestPercentileCeilingProperty checks the defining inequality of the
+// nearest-rank ceiling for a sweep of (n, p): with r the returned 1-based
+// rank, (r-1)·100 < p·n ≤ r·100 must hold (in exact micro-percent
+// arithmetic), except where clamping to [1, n] applies.
+func TestPercentileCeilingProperty(t *testing.T) {
+	ps := []float64{0.000001, 0.1, 1, 5, 24.9999, 25, 25.000001, 33.3, 50, 66.6, 75, 90, 95, 99, 99.9, 99.99, 99.999999}
+	for n := 1; n <= 137; n++ {
+		ds := seq(n)
+		for _, p := range ps {
+			r := int64(Percentile(ds, p))
+			pm := int64(math.Round(p * microPercent))
+			const denom = int64(100 * microPercent)
+			prod := pm * int64(n)
+			switch {
+			case prod <= 0: // clamped up to rank 1
+				if r != 1 {
+					t.Fatalf("n=%d p=%v: rank %d, want clamp to 1", n, p, r)
+				}
+			case prod > denom*int64(n): // cannot happen for p < 100
+				t.Fatalf("n=%d p=%v: product overflowed the range", n, p)
+			default:
+				if !((r-1)*denom < prod && prod <= r*denom) {
+					t.Fatalf("n=%d p=%v: rank %d violates (r-1)·denom < p·n ≤ r·denom", n, p, r)
+				}
+			}
+		}
+	}
+}
+
+// TestPercentileDiffersFromOldOnlyWhereOldWasWrong sweeps (n, p) pairs and
+// requires: wherever old and new disagree, the old result violates the
+// nearest-rank specification and the new one satisfies it — i.e. the fix
+// changed exactly the wrong answers.
+func TestPercentileDiffersFromOldOnlyWhereOldWasWrong(t *testing.T) {
+	ps := []float64{
+		0.000001, 1, 10, 25, 33.333333, 50, 50.000001, 66.666667, 75,
+		90, 95, 95.000001, 99, 99.9, 99.99, 99.999999,
+	}
+	diverged := 0
+	for n := 1; n <= 256; n++ {
+		ds := seq(n)
+		for _, p := range ps {
+			oldR := int(oldPercentileSorted(ds, p))
+			newR := int(Percentile(ds, p))
+			want := wantRank(n, p)
+			if newR != want {
+				t.Fatalf("n=%d p=%v: new rank %d, spec %d", n, p, newR, want)
+			}
+			if oldR != newR {
+				diverged++
+				if oldR == want {
+					t.Fatalf("n=%d p=%v: old rank %d was correct but new gives %d", n, p, oldR, newR)
+				}
+			}
+		}
+	}
+	// The blind spot is real: the sweep includes p values (50.000001 with
+	// n=2, 95.000001 with n=100, ...) whose product's fractional part falls
+	// in (0, 1e-6), where the old epsilon under-ranked by one.
+	if diverged == 0 {
+		t.Fatal("sweep found no divergence; boundary cases lost their teeth")
+	}
+}
+
+// TestPercentileStandardQuantilesUnchanged pins that the fix does not move
+// any of the quantiles the committed benchmark artifacts report (0, 50, 95,
+// 99, 99.9, 100) for representative pause-count sizes.
+func TestPercentileStandardQuantilesUnchanged(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 10, 64, 100, 1000, 4096} {
+		ds := seq(n)
+		for _, p := range []float64{0, 50, 95, 99, 99.9, 100} {
+			oldR, newR := oldPercentileSorted(ds, p), Percentile(ds, p)
+			if oldR != newR {
+				t.Fatalf("n=%d p=%v: standard quantile moved old=%d new=%d", n, p, int(oldR), int(newR))
+			}
+		}
+	}
+}
+
+// TestPercentilesBatchMatchesSingle pins the batch API to the single-call
+// rule after the fix.
+func TestPercentilesBatchMatchesSingle(t *testing.T) {
+	ds := []Duration{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	ps := []float64{0, 10, 50, 90, 99.9, 100}
+	batch := Percentiles(ds, ps...)
+	for i, p := range ps {
+		if single := Percentile(ds, p); batch[i] != single {
+			t.Fatalf("p=%v: batch %d != single %d", p, batch[i], single)
+		}
+	}
+}

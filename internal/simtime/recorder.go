@@ -2,6 +2,7 @@ package simtime
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -33,6 +34,15 @@ type Pause struct {
 	Kind     PauseKind
 	CopiedB  int64 // bytes copied during the pause
 	LogProcN int64 // log entries processed during the pause
+
+	// Sync is the portion of the pause that requires every mutator to be
+	// stopped — root scanning, flips and checkpoint commits. The rest of
+	// the pause is replication work (copying, log replay) that the paper's
+	// collector may overlap with mutators that did not trigger it. Single-
+	// mutator collectors may leave it zero; multi-mutator accounting
+	// (core.Group) treats a zero-Sync pause conservatively when overlap is
+	// disabled by stopping everyone for the whole pause.
+	Sync Duration
 }
 
 // Recorder accumulates the pauses of one benchmark run.
@@ -123,8 +133,21 @@ func Percentiles(ds []Duration, ps ...float64) []Duration {
 	return out
 }
 
+// microPercent is the resolution at which percentile arguments are
+// interpreted: p is rounded to the nearest millionth of a percent before
+// ranking. Quantiles are requested as decimal literals (95, 99.9), and the
+// micro-percent grid represents every such literal exactly — float64 alone
+// does not (float64(99.9) is 99.90000000000000568...), so ranking on the
+// raw float would shift exact-boundary ranks by one.
+const microPercent = 1_000_000
+
 // percentileSorted is the shared nearest-rank rule over an already-sorted,
-// non-empty slice.
+// non-empty slice: the p-th percentile is element ceil(p·n/100) (1-based),
+// computed with exact integer arithmetic at micro-percent resolution. The
+// previous implementation approximated the ceiling by adding a 0.999999
+// epsilon before truncating, which under-ranked by one whenever the true
+// fractional part of p·n/100 landed in (0, 1e-6) — a misreported tail, not
+// a tie-break.
 func percentileSorted(sorted []Duration, p float64) Duration {
 	if p <= 0 {
 		return sorted[0]
@@ -132,14 +155,16 @@ func percentileSorted(sorted []Duration, p float64) Duration {
 	if p >= 100 {
 		return sorted[len(sorted)-1]
 	}
-	rank := int(p/100*float64(len(sorted))+0.999999) - 1
-	if rank < 0 {
-		rank = 0
+	const denom = 100 * microPercent // micro-percents in the whole range
+	pm := int64(math.Round(p * microPercent))
+	rank := (pm*int64(len(sorted)) + denom - 1) / denom // exact ceil
+	if rank < 1 {
+		rank = 1 // p rounded to zero micro-percents: nearest rank is the minimum
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	if rank > int64(len(sorted)) {
+		rank = int64(len(sorted))
 	}
-	return sorted[rank]
+	return sorted[rank-1]
 }
 
 // Histogram buckets pause durations into fixed-width bins, mirroring the

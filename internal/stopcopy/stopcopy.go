@@ -187,8 +187,10 @@ func (c *Collector) pause(m *core.Mutator, emergency bool) error {
 	}
 
 	length := m.Clock.EndPause()
+	// Destructive forwarding leaves no from-space originals for other
+	// mutators to run against: the whole pause is stop-the-world.
 	c.rec.Record(simtime.Pause{
-		At: at, Length: length, Kind: kind,
+		At: at, Length: length, Kind: kind, Sync: length,
 		CopiedB:  c.stats.TotalBytesCopied() - start,
 		LogProcN: c.stats.LogScanned - logStart,
 	})

@@ -61,8 +61,12 @@ func ChromeTrace(events []Event, labels map[string]string) ([]byte, error) {
 		case KindPhaseEnd:
 			ce.Name, ce.Ph = e.Phase.String(), "E"
 		case KindAllocEpoch:
+			// One counter series per mutator actor: the thread id carries
+			// the actor so a multi-mutator group's allocation timelines
+			// render as separate tracks.
 			ce.Name, ce.Ph = "allocated_bytes", "C"
-			ce.Args = map[string]int64{"bytes": e.A}
+			ce.Tid = chromeTid + int(e.B)
+			ce.Args = map[string]int64{"bytes": e.A, "actor": e.B}
 		case KindCounters:
 			ce.Name, ce.Ph = "barrier", "C"
 			ce.Args = map[string]int64{"log_writes": e.A, "nursery_skips": e.B, "dirty_skips": e.C}

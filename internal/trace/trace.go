@@ -63,7 +63,7 @@ const (
 	KindPauseEnd               // mutator resumed; A=bytes copied, B=log entries, C=pause kind
 	KindPhaseBegin             // phase opened inside a pause
 	KindPhaseEnd               // phase closed
-	KindAllocEpoch             // allocation milestone; A=cumulative bytes allocated
+	KindAllocEpoch             // allocation milestone; A=cumulative bytes allocated, B=mutator actor
 	KindCounters               // barrier snapshot; A=log writes, B=nursery skips, C=dirty skips
 	KindLogEpoch               // heap coalescing epoch advanced; A=epoch
 	numKinds
@@ -182,9 +182,12 @@ func (r *Recorder) PhaseMark(at simtime.Duration, p Phase) {
 	r.PhaseEnd(at, p)
 }
 
-// AllocEpoch records an allocation milestone: cumulative bytes allocated.
-func (r *Recorder) AllocEpoch(at simtime.Duration, bytesAllocated int64) {
-	r.emit(Event{At: at, Kind: KindAllocEpoch, A: bytesAllocated})
+// AllocEpoch records an allocation milestone: cumulative bytes allocated by
+// the given mutator actor (actor 0 for solo mutators). Per-actor stamping
+// keeps the allocation timelines of a multi-mutator group separable in
+// exports.
+func (r *Recorder) AllocEpoch(at simtime.Duration, actor, bytesAllocated int64) {
+	r.emit(Event{At: at, Kind: KindAllocEpoch, A: bytesAllocated, B: actor})
 }
 
 // Counters records a barrier-counter snapshot (cumulative log writes,

@@ -25,7 +25,7 @@ func TestNilRecorderIsSafeAndFree(t *testing.T) {
 		r.PhaseBegin(0, trace.PhaseCopy)
 		r.PhaseEnd(0, trace.PhaseCopy)
 		r.PauseEnd(1, 2, 3, 4)
-		r.AllocEpoch(5, 6)
+		r.AllocEpoch(5, 0, 6)
 		r.Counters(7, 8, 9, 10)
 		r.LogEpoch(11, 12)
 	})
@@ -87,7 +87,7 @@ func TestRingTrimsEvictedPause(t *testing.T) {
 	r := trace.NewRecorder(4)
 	r.PauseBegin(0)
 	for i := 1; i <= 6; i++ {
-		r.AllocEpoch(simtime.Duration(i), int64(i)) // evicts the pause-begin
+		r.AllocEpoch(simtime.Duration(i), 0, int64(i)) // evicts the pause-begin
 	}
 	r.PauseEnd(7, 0, 0, 0)
 	evs := r.Events()

@@ -1,9 +1,10 @@
 package workload
 
 // The serving report: what one trace, served by one or more collector legs,
-// did to request latency. This is the repligc-bench/5 "serving" section —
-// internal/bench embeds a Section in its PerfReport, and cmd/rtgc-bench can
-// also emit a standalone Report from `rtgc-bench serve`.
+// did to request latency. This is the repligc-bench "serving" section
+// (introduced in /5) — internal/bench embeds a Section in its PerfReport,
+// and cmd/rtgc-bench can also emit a standalone Report from
+// `rtgc-bench serve`.
 
 import (
 	"encoding/json"
@@ -12,9 +13,9 @@ import (
 )
 
 // ReportSchema identifies the serving report layout. It shares the
-// repligc-bench lineage: /5 is /4 plus the serving section, so
-// bench.PerfSchema aliases this constant.
-const ReportSchema = "repligc-bench/5"
+// repligc-bench lineage (/5 was /4 plus the serving section; /6 adds the
+// multi-mutator section), so bench.PerfSchema aliases this constant.
+const ReportSchema = "repligc-bench/6"
 
 // Report is the standalone document `rtgc-bench serve` emits.
 type Report struct {
